@@ -1,0 +1,91 @@
+// Ablation — action-space size (§4/§5): the exploration floor of uniform
+// randomization is epsilon = 1/|A|, so bigger action spaces directly inflate
+// Eq. 1's data requirement. Measured: empirical IPS error at fixed N grows
+// ~sqrt(|A|), matching the theory — the quantitative case for the paper's
+// "smaller action spaces" and hierarchy recommendations.
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "harvest/harvest.h"
+#include "stats/quantile.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace harvest;
+  const util::Flags flags(argc, argv);
+  const bench::CommonFlags common = bench::CommonFlags::parse(flags);
+
+  bench::banner(
+      "Ablation: action-space size vs off-policy accuracy",
+      "error at fixed N scales ~sqrt(|A|); halving the action space halves "
+      "the data needed (Eq. 1's 1/epsilon term)");
+
+  const std::size_t n =
+      static_cast<std::size_t>(flags.get_int("n", common.fast ? 1500 : 4000));
+  const std::size_t reps =
+      static_cast<std::size_t>(flags.get_int("reps", common.fast ? 100 : 300));
+  util::Rng rng(common.seed);
+  const core::IpsEstimator ips;
+  core::BoundParams params;
+
+  util::Table table({"|A|", "epsilon", "empirical 95th-pct |err|",
+                     "Eq. 1 width (K=1)", "N for 0.05 err (K=1e6)"});
+  std::vector<double> errors_by_actions;
+  const std::vector<std::size_t> action_counts{2, 4, 9, 16, 25};
+  for (const std::size_t num_actions : action_counts) {
+    // Synthetic environment with |A| actions, linear rewards.
+    core::FullFeedbackDataset env(num_actions, {0.0, 1.0});
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x = rng.uniform();
+      std::vector<double> rewards(num_actions);
+      for (std::size_t a = 0; a < num_actions; ++a) {
+        rewards[a] = 0.3 + 0.4 * std::abs(
+            std::sin(x * 2 + static_cast<double>(a)));
+      }
+      env.add(core::FullFeedbackPoint{core::FeatureVector{x},
+                                      std::move(rewards)});
+    }
+    const core::UniformRandomPolicy logging(num_actions);
+    const core::ConstantPolicy candidate(num_actions, 0);
+    const double truth = env.true_value(candidate);
+
+    std::vector<double> errors;
+    errors.reserve(reps);
+    for (std::size_t r = 0; r < reps; ++r) {
+      const core::ExplorationDataset exp =
+          env.simulate_exploration(logging, rng);
+      errors.push_back(
+          std::abs(ips.evaluate(exp, candidate).value - truth));
+    }
+    const double q95 = stats::quantile(errors, 0.95);
+    errors_by_actions.push_back(q95);
+    const double eps = 1.0 / static_cast<double>(num_actions);
+    table.add_row(
+        {std::to_string(num_actions), util::format_double(eps, 3),
+         util::format_double(q95, 4),
+         util::format_double(
+             core::cb_ci_width(static_cast<double>(n), 1.0, eps, params), 4),
+         util::format_double(core::cb_required_n(1e6, eps, 0.05, params),
+                             0)});
+  }
+  table.print(std::cout);
+
+  // sqrt scaling: err(25 actions)/err(2 actions) should be near sqrt(12.5).
+  const double measured_ratio =
+      errors_by_actions.back() / errors_by_actions.front();
+  const double predicted_ratio = std::sqrt(
+      static_cast<double>(action_counts.back()) /
+      static_cast<double>(action_counts.front()));
+  std::cout << "\nShape checks:\n"
+            << "  ["
+            << (measured_ratio > 0.5 * predicted_ratio &&
+                        measured_ratio < 2.0 * predicted_ratio
+                    ? "ok"
+                    : "FAIL")
+            << "] error ratio |A|=25 vs |A|=2 is "
+            << util::format_double(measured_ratio, 2) << " (theory sqrt: "
+            << util::format_double(predicted_ratio, 2) << ")\n";
+  return 0;
+}

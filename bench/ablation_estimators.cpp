@@ -1,0 +1,112 @@
+// Ablation — estimator bias/variance on the machine-health scenario:
+// IPS vs clipped IPS vs SNIPS vs Direct Method vs Doubly Robust. Motivates
+// §5's plan to lean on doubly-robust techniques: DR keeps IPS's low bias
+// while shrinking its variance via the reward model.
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "harvest/harvest.h"
+#include "stats/summary.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace harvest;
+  const util::Flags flags(argc, argv);
+  const bench::CommonFlags common = bench::CommonFlags::parse(flags);
+
+  bench::banner(
+      "Ablation: off-policy estimators (machine health)",
+      "IPS unbiased but high variance; DM low variance but biased; DR keeps "
+      "both small (the §5 roadmap)");
+
+  const health::Fleet fleet((health::FleetConfig()));
+  util::Rng rng(common.seed);
+  const core::FullFeedbackDataset env =
+      fleet.generate_dataset(common.fast ? 6000 : 20000, rng);
+  const core::UniformRandomPolicy logging(9);
+
+  // Candidate: a CB policy trained on independent data.
+  const core::FullFeedbackDataset train = fleet.generate_dataset(6000, rng);
+  const core::ExplorationDataset train_exp =
+      train.simulate_exploration(logging, rng);
+  const core::PolicyPtr policy = core::train_cb_policy(train_exp, {});
+  const double truth = env.true_value(*policy);
+
+  // Reward model for DM/DR, fit on yet another independent sample.
+  const core::ExplorationDataset model_exp =
+      train.simulate_exploration(logging, rng);
+  auto model = std::make_shared<core::RidgeRewardModel>(
+      core::fit_ridge(model_exp, 1.0, true));
+
+  const std::size_t eval_n =
+      static_cast<std::size_t>(flags.get_int("n", common.fast ? 500 : 2000));
+  const std::size_t reps =
+      static_cast<std::size_t>(flags.get_int("reps", common.fast ? 100 : 400));
+
+  std::vector<std::pair<std::string, core::EstimatorPtr>> estimators;
+  estimators.emplace_back("ips", std::make_shared<core::IpsEstimator>());
+  estimators.emplace_back("clipped-ips(5)",
+                          std::make_shared<core::ClippedIpsEstimator>(5.0));
+  estimators.emplace_back("snips", std::make_shared<core::SnipsEstimator>());
+  estimators.emplace_back(
+      "direct-method", std::make_shared<core::DirectMethodEstimator>(model));
+  estimators.emplace_back(
+      "doubly-robust", std::make_shared<core::DoublyRobustEstimator>(model));
+
+  std::cout << "true policy value " << util::format_double(truth, 4)
+            << "; each estimator run " << reps << " times on fresh "
+            << eval_n << "-point exploration samples\n\n";
+
+  util::Table table({"estimator", "mean estimate", "|bias|", "std dev",
+                     "RMSE"});
+  double ips_std = 0, dr_std = 0, dr_bias = 0, dm_bias = 0, ips_bias = 0;
+  double ips_mc_noise = 0;  // Monte-Carlo stderr of the mean estimate
+  for (const auto& [name, estimator] : estimators) {
+    stats::Summary values;
+    for (std::size_t r = 0; r < reps; ++r) {
+      core::FullFeedbackDataset subset(env.num_actions(), env.reward_range());
+      for (std::size_t i = 0; i < eval_n; ++i) {
+        subset.add(env[rng.uniform_index(env.size())]);
+      }
+      const core::ExplorationDataset exp =
+          subset.simulate_exploration(logging, rng);
+      values.add(estimator->evaluate(exp, *policy).value);
+    }
+    const double bias = std::abs(values.mean() - truth);
+    const double rmse =
+        std::sqrt(bias * bias + values.variance());
+    table.add_row({name, util::format_double(values.mean(), 4),
+                   util::format_double(bias, 4),
+                   util::format_double(values.stddev(), 4),
+                   util::format_double(rmse, 4)});
+    if (name == "ips") {
+      ips_std = values.stddev();
+      ips_bias = bias;
+      ips_mc_noise = values.stderr_mean();
+    }
+    if (name == "doubly-robust") {
+      dr_std = values.stddev();
+      dr_bias = bias;
+    }
+    if (name == "direct-method") dm_bias = bias;
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShape checks:\n"
+            << "  [" << (dr_std < ips_std ? "ok" : "FAIL")
+            << "] DR variance below IPS variance ("
+            << util::format_double(dr_std, 4) << " vs "
+            << util::format_double(ips_std, 4) << ")\n"
+            << "  [" << (dr_bias < dm_bias + 0.005 ? "ok" : "FAIL")
+            << "] DR bias no worse than the direct method's\n"
+            << "  [" << (ips_bias < 3 * ips_mc_noise + 0.003 ? "ok" : "FAIL")
+            << "] IPS is unbiased up to Monte-Carlo noise\n"
+            << "\nNote: clipped-IPS demonstrates the bias/variance trade "
+               "explicitly — with uniform-over-9 logging every matched "
+               "weight is exactly 9, so clipping at 5 shrinks variance but "
+               "scales the estimate by 5/9.\n";
+  return 0;
+}

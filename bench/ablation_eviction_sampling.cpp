@@ -1,0 +1,69 @@
+// Ablation — eviction sampling depth (Table 3 follow-up): Redis approximates
+// its eviction policies over a uniform sample of candidates. The sample size
+// (maxmemory-samples) and the Redis-3.0 eviction pool bound how faithfully a
+// deterministic policy like freq/size is realized, which is exactly what
+// compresses Table 3's winning margin in our reproduction. Sweeping both
+// shows the margin is a sampling artifact, not a property of the policy.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "harvest/harvest.h"
+
+int main(int argc, char** argv) {
+  using namespace harvest;
+  const util::Flags flags(argc, argv);
+  const bench::CommonFlags common = bench::CommonFlags::parse(flags);
+
+  bench::banner(
+      "Ablation: eviction sampling depth vs freq/size fidelity",
+      "deeper samples and an eviction pool sharpen the approximated policy, "
+      "widening its Table 3 margin over random eviction");
+
+  cache::BigSmallWorkload workload({});
+  cache::CacheConfig base = cache::table3_config(workload);
+  if (common.fast) {
+    base.num_requests = 60000;
+    base.warmup_requests = 10000;
+  }
+  base.keep_log = false;
+
+  auto hitrate = [&](cache::Evictor& evictor, std::size_t samples,
+                     std::size_t pool) {
+    cache::CacheConfig config = base;
+    config.eviction_samples = samples;
+    config.eviction_pool = pool;
+    util::Rng rng(common.seed);
+    return cache::run_cache(config, workload, evictor, rng).hit_rate;
+  };
+
+  // Random eviction is sampling-invariant — one baseline suffices.
+  cache::RandomEvictor random_evictor;
+  const double hr_random = hitrate(random_evictor, 5, 0);
+
+  util::Table table({"samples", "pool", "freq/size hitrate",
+                     "margin over random (pp)"});
+  double margin_shallow = 0, margin_deep = 0;
+  for (const auto& [samples, pool] :
+       std::vector<std::pair<std::size_t, std::size_t>>{
+           {5, 0}, {10, 0}, {16, 0}, {5, 16}, {16, 16}}) {
+    cache::FreqSizeEvictor fs;
+    const double hr = hitrate(fs, samples, pool);
+    const double margin = 100 * (hr - hr_random);
+    if (samples == 5 && pool == 0) margin_shallow = margin;
+    if (samples == 16 && pool == 16) margin_deep = margin;
+    table.add_row({std::to_string(samples), std::to_string(pool),
+                   util::format_double(100 * hr, 1) + "%",
+                   util::format_double(margin, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "random eviction baseline: "
+            << util::format_double(100 * hr_random, 1) << "%\n";
+
+  std::cout << "\nShape checks:\n"
+            << "  [" << (margin_deep > margin_shallow + 1.0 ? "ok" : "FAIL")
+            << "] deeper sampling + pool widen the freq/size margin ("
+            << util::format_double(margin_shallow, 1) << " -> "
+            << util::format_double(margin_deep, 1) << " pp), toward the "
+            << "paper's ~10 pp\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Ablation — online learners on the machine-health stream: epoch-greedy
+// (randomized, fully harvestable) vs LinUCB (optimism-driven, deterministic
+// given history). Both beat the uniform and wait-max baselines quickly;
+// LinUCB explores more efficiently, but its decisions carry *no logged
+// randomization* — §2's harvesting condition fails for it, so a fleet that
+// deploys LinUCB is spending exploration it cannot later scavenge with
+// simple propensity-based estimators. Epoch-greedy pays a small reward tax
+// for logs that remain off-policy-evaluable forever.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "harvest/harvest.h"
+
+int main(int argc, char** argv) {
+  using namespace harvest;
+  const util::Flags flags(argc, argv);
+  const bench::CommonFlags common = bench::CommonFlags::parse(flags);
+
+  bench::banner(
+      "Ablation: online learners — epoch-greedy vs LinUCB",
+      "both learn quickly; only epoch-greedy's randomized decisions remain "
+      "harvestable for later off-policy evaluation");
+
+  const health::Fleet fleet((health::FleetConfig()));
+  const std::size_t steps = common.fast ? 8000 : 30000;
+  util::Rng env_rng(common.seed);
+
+  // Pre-draw the episode stream so all learners see identical machines.
+  std::vector<health::MachineContext> machines;
+  std::vector<health::FailureOutcome> outcomes;
+  machines.reserve(steps);
+  for (std::size_t i = 0; i < steps; ++i) {
+    machines.push_back(fleet.sample_machine(env_rng));
+    outcomes.push_back(fleet.sample_outcome(machines.back(), env_rng));
+  }
+  auto reward_of = [&](std::size_t i, core::ActionId a) {
+    return fleet.reward(machines[i], outcomes[i],
+                        static_cast<double>(a + 1));
+  };
+
+  const std::size_t num_actions = 9;
+  const std::size_t dim = health::MachineContext::kNumFeatures;
+
+  core::EpochGreedyTrainer::Config eg_config;
+  eg_config.explore_fraction = 0.15;
+  eg_config.learning_rate = 0.3;
+  core::EpochGreedyTrainer epoch_greedy(num_actions, dim, eg_config);
+  core::LinUcbTrainer linucb(num_actions, dim, {0.4, 1.0});
+  util::Rng eg_rng(common.seed + 1);
+  util::Rng uniform_rng(common.seed + 2);
+
+  const std::vector<std::size_t> checkpoints{steps / 8, steps / 4, steps / 2,
+                                             steps};
+  util::Table table({"steps", "epoch-greedy avg reward", "LinUCB avg reward",
+                     "uniform avg reward", "wait-max avg reward"});
+  double eg_total = 0, ucb_total = 0, uni_total = 0, def_total = 0;
+  std::size_t next_checkpoint = 0;
+  double eg_final = 0, ucb_final = 0, uni_final = 0;
+  for (std::size_t i = 0; i < steps; ++i) {
+    const core::FeatureVector x = machines[i].to_features();
+    const core::ActionId a_eg = epoch_greedy.step(x, eg_rng);
+    epoch_greedy.learn(x, a_eg, reward_of(i, a_eg));
+    eg_total += reward_of(i, a_eg);
+
+    const core::ActionId a_ucb = linucb.step(x);
+    linucb.learn(x, a_ucb, reward_of(i, a_ucb));
+    ucb_total += reward_of(i, a_ucb);
+
+    uni_total += reward_of(
+        i, static_cast<core::ActionId>(uniform_rng.uniform_index(9)));
+    def_total += fleet.default_policy_reward(machines[i], outcomes[i]);
+
+    if (next_checkpoint < checkpoints.size() &&
+        i + 1 == checkpoints[next_checkpoint]) {
+      const auto n = static_cast<double>(i + 1);
+      table.add_row({std::to_string(i + 1),
+                     util::format_double(eg_total / n, 4),
+                     util::format_double(ucb_total / n, 4),
+                     util::format_double(uni_total / n, 4),
+                     util::format_double(def_total / n, 4)});
+      ++next_checkpoint;
+      eg_final = eg_total / n;
+      ucb_final = ucb_total / n;
+      uni_final = uni_total / n;
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nharvestability: epoch-greedy logged "
+            << epoch_greedy.explore_steps()
+            << " uniformly randomized decisions (propensity "
+            << util::format_double(eg_config.explore_fraction / 9, 4)
+            << " each) — reusable exploration data. LinUCB logged none.\n";
+
+  std::cout << "\nShape checks:\n"
+            << "  [" << (eg_final > uni_final + 0.02 ? "ok" : "FAIL")
+            << "] epoch-greedy beats uniform online\n"
+            << "  [" << (ucb_final > uni_final + 0.02 ? "ok" : "FAIL")
+            << "] LinUCB beats uniform online\n"
+            << "  [" << (ucb_final > eg_final - 0.01 ? "ok" : "FAIL")
+            << "] LinUCB's directed exploration is at least as "
+               "reward-efficient as epoch-greedy's uniform slice\n";
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Shared helpers for the reproduction benches: banners, paper-vs-measured
+// table assembly, and common flags (--seed, --csv).
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "util/flags.h"
+
+namespace harvest::bench {
+
+/// Prints the standard experiment banner.
+inline void banner(const std::string& experiment, const std::string& claim) {
+  std::cout << "==============================================================="
+               "=\n"
+            << experiment << "\n"
+            << "Paper claim: " << claim << "\n"
+            << "==============================================================="
+               "=\n";
+}
+
+/// Common bench flags: seed and fast mode (CI-scale runs).
+struct CommonFlags {
+  std::uint64_t seed = 42;
+  bool fast = false;
+
+  static CommonFlags parse(const util::Flags& flags) {
+    CommonFlags out;
+    out.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+    out.fast = flags.get_bool("fast", false);
+    return out;
+  }
+};
+
+}  // namespace harvest::bench

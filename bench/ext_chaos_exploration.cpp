@@ -1,0 +1,133 @@
+// Extension — harvesting reliability tests (§5: "we could leverage
+// Netflix's Chaos Monkey ... randomized failures, and the systems'
+// responses, would generate valuable exploration data").
+//
+// We inject random server slowdowns during logging and measure what that
+// buys: (a) the logged context space covers load levels normal operation
+// never reaches, and (b) a latency model fit on chaos-era logs predicts
+// overload latencies far better, which is exactly what model-based and
+// doubly-robust off-policy evaluation need.
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "harvest/harvest.h"
+
+namespace {
+
+using namespace harvest;
+
+struct Coverage {
+  double max_conns = 0;
+  double p99_conns = 0;
+  core::ExplorationDataset data;
+
+  Coverage() : data(2, core::RewardRange{0.0, 1.0}) {}
+};
+
+Coverage run_logging(const lb::LbConfig& config, std::uint64_t seed) {
+  util::Rng rng(seed);
+  lb::RandomRouter router(2);
+  const lb::LbResult result = lb::run_lb(config, router, rng);
+  Coverage cov;
+  cov.data = result.exploration;
+  std::vector<double> conns;
+  for (const auto& pt : result.exploration.points()) {
+    conns.push_back(std::max(pt.context[0], pt.context[1]));
+  }
+  cov.max_conns = *std::max_element(conns.begin(), conns.end());
+  cov.p99_conns = stats::quantile(conns, 0.99);
+  return cov;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const bench::CommonFlags common = bench::CommonFlags::parse(flags);
+
+  bench::banner(
+      "Extension: Chaos-Monkey fault injection as exploration",
+      "randomized failures push the system into extreme states, producing "
+      "exploration data that normal randomized operation never yields");
+
+  lb::LbConfig base = lb::fig5_config();
+  base.num_requests = common.fast ? 20000 : 60000;
+  base.warmup_requests = base.num_requests / 10;
+  // Moderate utilization so a fault response (shifting traffic off the
+  // degraded server) is actually feasible for the healthy one.
+  base.arrival_rate = 26.0;
+
+  lb::LbConfig chaotic = base;
+  chaotic.expose_health = true;  // health probes in the context/log
+  chaotic.faults.rate_per_second = 0.04;
+  chaotic.faults.duration_seconds = 40.0;
+  chaotic.faults.slowdown = 3.0;
+
+  const Coverage clean = run_logging(base, common.seed);
+  const Coverage chaos = run_logging(chaotic, common.seed);
+
+  util::Table coverage({"logging regime", "p99 max-conns", "max conns seen",
+                        "decisions"});
+  coverage.add_row({"normal randomized ops",
+                    util::format_double(clean.p99_conns, 1),
+                    util::format_double(clean.max_conns, 0),
+                    std::to_string(clean.data.size())});
+  coverage.add_row({"with chaos injection",
+                    util::format_double(chaos.p99_conns, 1),
+                    util::format_double(chaos.max_conns, 0),
+                    std::to_string(chaos.data.size())});
+  coverage.print(std::cout);
+
+  // What the coverage buys: a *fault-aware* routing policy. The fault
+  // events are logged, the health factors are in the context, so the CB
+  // trainer can learn how degradation changes each server's latency — from
+  // logs alone. A policy trained on fault-free logs has never seen the
+  // health feature vary and cannot react.
+  const core::PolicyPtr fault_aware = core::train_cb_policy(chaos.data, {});
+  // The fault-blind policy trained on fault-free logs without health
+  // features; an adapter drops the health features the faulty deployment
+  // provides (the policy has no idea what they would mean).
+  const core::PolicyPtr fault_blind_core =
+      core::train_cb_policy(clean.data, {});
+  const auto fault_blind = std::make_shared<core::FunctionPolicy>(
+      2,
+      [fault_blind_core](const core::FeatureVector& x) {
+        const core::FeatureVector truncated{x[0], x[1], x[2]};
+        util::Rng unused(0);
+        return fault_blind_core->act(truncated, unused);
+      },
+      "fault-blind");
+
+  auto deploy = [&](lb::Router& router, std::uint64_t seed) {
+    util::Rng rng(seed);
+    return lb::run_lb(chaotic, router, rng).mean_latency;
+  };
+  lb::CbRouter aware_router(fault_aware);
+  lb::CbRouter blind_router(fault_blind);
+  lb::LeastLoadedRouter ll_router(2);
+  const double aware_latency = deploy(aware_router, common.seed + 2);
+  const double blind_latency = deploy(blind_router, common.seed + 2);
+  const double ll_latency = deploy(ll_router, common.seed + 2);
+
+  std::cout << "\ndeployed into a faulty environment (same chaos schedule):\n";
+  util::Table deployment({"policy", "mean latency (s)"});
+  deployment.add_row({"CB trained on chaos-era logs",
+                      util::format_double(aware_latency, 3)});
+  deployment.add_row({"CB trained on fault-free logs",
+                      util::format_double(blind_latency, 3)});
+  deployment.add_row({"least-loaded",
+                      util::format_double(ll_latency, 3)});
+  deployment.print(std::cout);
+
+  std::cout << "\nShape checks:\n"
+            << "  [" << (chaos.max_conns > 1.3 * clean.max_conns ? "ok"
+                                                                 : "FAIL")
+            << "] chaos pushes logged load coverage far beyond normal "
+               "operation\n"
+            << "  [" << (aware_latency < blind_latency ? "ok" : "FAIL")
+            << "] the fault-aware policy (learned from harvested chaos "
+               "logs) outperforms the fault-blind one under faults\n";
+  return 0;
+}

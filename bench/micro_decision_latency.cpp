@@ -1,0 +1,169 @@
+// Microbenchmarks (google-benchmark) — the systems constraint of §6: the
+// decisions being optimized (cache eviction, request routing) run on hot
+// paths, so policies must decide in nanoseconds-to-microseconds; "deep
+// neural networks or search based policies ... are too slow". These numbers
+// document that the linear CB policies and estimators used here are fast
+// enough to sit inside a load balancer or cache.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "harvest/harvest.h"
+#include "sim/event_queue.h"
+
+namespace {
+
+using namespace harvest;
+
+core::FeatureVector make_context(std::size_t dim, util::Rng& rng) {
+  std::vector<double> values(dim);
+  for (auto& v : values) v = rng.uniform();
+  return core::FeatureVector(std::move(values));
+}
+
+void BM_UniformRandomDecision(benchmark::State& state) {
+  const core::UniformRandomPolicy policy(
+      static_cast<std::size_t>(state.range(0)));
+  util::Rng rng(1);
+  const core::FeatureVector x = make_context(4, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.act(x, rng));
+  }
+}
+BENCHMARK(BM_UniformRandomDecision)->Arg(2)->Arg(25);
+
+void BM_LinearGreedyDecision(benchmark::State& state) {
+  const auto num_actions = static_cast<std::size_t>(state.range(0));
+  const auto dim = static_cast<std::size_t>(state.range(1));
+  util::Rng rng(2);
+  std::vector<std::vector<double>> weights(num_actions,
+                                           std::vector<double>(dim + 1));
+  for (auto& w : weights) {
+    for (auto& v : w) v = rng.uniform(-1, 1);
+  }
+  const core::LinearPolicy policy(std::move(weights));
+  const core::FeatureVector x = make_context(dim, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.choose(x));
+  }
+}
+BENCHMARK(BM_LinearGreedyDecision)->Args({2, 3})->Args({9, 8})->Args({25, 26});
+
+void BM_RidgeModelPredict(benchmark::State& state) {
+  util::Rng rng(3);
+  core::RidgeRewardModel model(9, 8, 1.0);
+  for (int i = 0; i < 200; ++i) {
+    model.observe(make_context(8, rng),
+                  static_cast<core::ActionId>(rng.uniform_index(9)),
+                  rng.uniform());
+  }
+  model.fit();
+  const core::FeatureVector x = make_context(8, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(x, 3));
+  }
+}
+BENCHMARK(BM_RidgeModelPredict);
+
+void BM_IpsPerPoint(benchmark::State& state) {
+  // Marginal cost of adding one exploration point to an IPS evaluation.
+  util::Rng rng(4);
+  core::ExplorationDataset data(9, {0.0, 1.0});
+  for (int i = 0; i < 4096; ++i) {
+    data.add({make_context(8, rng),
+              static_cast<core::ActionId>(rng.uniform_index(9)),
+              rng.uniform(), 1.0 / 9});
+  }
+  const core::ConstantPolicy policy(9, 2);
+  const core::IpsEstimator ips;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ips.evaluate(data, policy).value);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          4096);
+}
+BENCHMARK(BM_IpsPerPoint);
+
+void BM_CacheLookupHit(benchmark::State& state) {
+  cache::CacheStore store(1 << 20, 5);
+  cache::RandomEvictor evictor;
+  util::Rng rng(5);
+  for (cache::Key k = 0; k < 500; ++k) {
+    store.insert(k, 1024, 0.0, evictor, rng);
+  }
+  double now = 1.0;
+  cache::Key key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.lookup(key, now));
+    key = (key + 1) % 500;
+    now += 1e-6;
+  }
+}
+BENCHMARK(BM_CacheLookupHit);
+
+void BM_CacheInsertWithEviction(benchmark::State& state) {
+  cache::CacheStore store(512 * 1024, 5);
+  cache::RandomEvictor evictor;
+  util::Rng rng(6);
+  double now = 0.0;
+  cache::Key key = 0;
+  for (auto _ : state) {
+    store.insert(key, 1024, now, evictor, rng);
+    ++key;
+    now += 1e-6;
+  }
+}
+BENCHMARK(BM_CacheInsertWithEviction);
+
+void BM_CbEvictorChoice(benchmark::State& state) {
+  util::Rng rng(7);
+  auto model = std::make_shared<core::RidgeRewardModel>(1, 4, 1.0);
+  for (int i = 0; i < 100; ++i) {
+    model->observe(make_context(4, rng), 0, rng.uniform());
+  }
+  model->fit();
+  cache::CbEvictor evictor(model);
+  std::vector<cache::ItemMeta> candidates(5);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    candidates[i].key = i;
+    candidates[i].size_bytes = 1024 * (i + 1);
+    candidates[i].access_count = i + 1;
+    candidates[i].last_access = static_cast<double>(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evictor.choose(candidates, 10.0, rng));
+  }
+}
+BENCHMARK(BM_CbEvictorChoice);
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  sim::EventQueue queue;
+  util::Rng rng(8);
+  // Keep a steady queue of 1024 events.
+  for (int i = 0; i < 1024; ++i) {
+    queue.push(rng.uniform(), [] {});
+  }
+  for (auto _ : state) {
+    queue.push(queue.next_time() + rng.uniform(), [] {});
+    benchmark::DoNotOptimize(queue.pop());
+  }
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_LogRecordRoundtrip(benchmark::State& state) {
+  logs::Record rec;
+  rec.time = 123.456;
+  rec.event = "route";
+  rec.set("conns0", std::int64_t{7});
+  rec.set("conns1", std::int64_t{12});
+  rec.set("server", std::int64_t{1});
+  rec.set("latency", 0.3725);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(logs::parse(logs::serialize(rec)));
+  }
+}
+BENCHMARK(BM_LogRecordRoundtrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Caching scenario walkthrough (Redis, §5): eviction decisions have
+// long-term rewards, which defeats greedy CB optimization. We harvest the
+// random-eviction log (reconstructing rewards by looking ahead for each
+// victim's next access), train the greedy CB evictor, and watch it do no
+// better than random — while a hand-designed frequency/size heuristic wins.
+#include <iostream>
+#include <memory>
+
+#include "harvest/harvest.h"
+
+using namespace harvest;
+
+namespace {
+
+double deploy(cache::Workload& workload, cache::Evictor& evictor,
+              const cache::CacheConfig& base, std::uint64_t seed) {
+  cache::CacheConfig config = base;
+  config.keep_log = false;
+  util::Rng rng(seed);
+  return cache::run_cache(config, workload, evictor, rng).hit_rate;
+}
+
+}  // namespace
+
+int main() {
+  cache::BigSmallWorkload workload({});
+  cache::CacheConfig config = cache::table3_config(workload);
+  config.num_requests = 120000;
+  config.warmup_requests = 20000;
+
+  std::cout << "workload: " << workload.config().num_large
+            << " large + " << workload.config().num_small
+            << " small items; large are 2x as hot but 4x as big -> caching "
+               "small items is more space-efficient\n\n";
+
+  // --- Harvest the random-eviction deployment.
+  std::cout << "== Step 1: harvest the Redis log ==\n";
+  util::Rng rng(21);
+  cache::RandomEvictor random_evictor;
+  const cache::CacheResult logged =
+      cache::run_cache(config, workload, random_evictor, rng);
+  const cache::EvictionHarvest harvest = cache::harvest_evictions(
+      logged.log.roundtrip(), config.eviction_samples, 30.0);
+  std::cout << "random eviction hitrate "
+            << util::format_double(100 * logged.hit_rate, 1) << "%; "
+            << harvest.slot_data.size()
+            << " eviction decisions harvested; rewards reconstructed by "
+               "looking ahead to each victim's next access\n\n";
+
+  // --- Train the greedy CB evictor and deploy everything.
+  std::cout << "== Step 3: optimize, then deploy each policy ==\n";
+  const core::RewardModelPtr model = cache::train_cb_eviction_model(harvest);
+
+  cache::CbEvictor cb(model);
+  cache::LruEvictor lru;
+  cache::FreqSizeEvictor freq_size;
+  const double hr_cb = deploy(workload, cb, config, 22);
+  const double hr_lru = deploy(workload, lru, config, 22);
+  const double hr_random = deploy(workload, random_evictor, config, 22);
+  const double hr_fs = deploy(workload, freq_size, config, 22);
+
+  std::cout << "random:    " << util::format_double(100 * hr_random, 1)
+            << "%\n"
+            << "LRU:       " << util::format_double(100 * hr_lru, 1) << "%\n"
+            << "CB policy: " << util::format_double(100 * hr_cb, 1) << "%\n"
+            << "freq/size: " << util::format_double(100 * hr_fs, 1) << "%\n\n";
+
+  std::cout << "The greedy CB policy keeps the big hot items (they return "
+               "soonest) and lands at random's level — it never learns that "
+               "a 4 KB item costs four small slots. The freq/size heuristic "
+               "encodes exactly that opportunity cost and wins by "
+            << util::format_double(100 * (hr_fs - hr_random), 1)
+            << " points. Capturing such long-term effects inside CB is the "
+               "open challenge of §5.\n";
+  return 0;
+}

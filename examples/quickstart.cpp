@@ -1,0 +1,95 @@
+// Quickstart: the harvesting methodology end-to-end in ~60 lines.
+//
+//   1. A "production system" (here: a tiny simulated one) makes randomized
+//      decisions and writes an ordinary text log.
+//   2. We SCAVENGE the log into ⟨x, a, r⟩ tuples.
+//   3. We INFER the propensities p (the logger was uniform over 3 actions).
+//   4. We EVALUATE a new candidate policy offline with IPS — with a
+//      confidence interval — without ever deploying it.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "harvest/harvest.h"
+
+using namespace harvest;
+
+int main() {
+  util::Rng rng(7);
+
+  // --- A live system: given a context (queue depth), it picks one of three
+  // batch sizes uniformly at random and observes a reward. It logs each
+  // decision like any production service would.
+  logs::LogStore system_log;
+  for (int i = 0; i < 5000; ++i) {
+    const double queue_depth = rng.uniform(0.0, 10.0);
+    const auto action = static_cast<core::ActionId>(rng.uniform_index(3));
+    // Hidden truth: bigger batches (action 2) win when the queue is deep.
+    const double reward =
+        0.4 + 0.05 * static_cast<double>(action) * (queue_depth - 5.0) +
+        rng.normal(0.0, 0.05);
+    logs::Record rec;
+    rec.time = i * 0.01;
+    rec.event = "decide";
+    rec.set("queue", queue_depth);
+    rec.set("batch", static_cast<std::int64_t>(action));
+    rec.set("reward", reward);
+    system_log.append(std::move(rec));
+  }
+
+  // --- Steps 1-3, configured declaratively.
+  pipeline::PipelineConfig config;
+  config.spec.decision_event = "decide";
+  config.spec.context_fields = {"queue"};
+  config.spec.action_field = "batch";
+  config.spec.reward_field = "reward";
+  config.spec.num_actions = 3;
+  config.spec.reward_range = {-0.5, 1.5};
+  config.spec.reward_transform = [](double r) { return r; };
+  // Step 2 by regression on the scavenged data (we could also declare the
+  // known uniform distribution via core::KnownPropensity).
+  config.inference = std::make_shared<core::EmpiricalPropensityModel>(
+      3, std::vector<std::size_t>{});
+  config.estimator = std::make_shared<core::IpsEstimator>();
+
+  // --- Candidates: the status quo and a queue-aware policy.
+  std::vector<core::PolicyPtr> candidates{
+      std::make_shared<core::UniformRandomPolicy>(3),
+      std::make_shared<core::FunctionPolicy>(
+          3,
+          [](const core::FeatureVector& x) {
+            return x[0] > 5.0 ? 2u : 0u;  // big batches when queue is deep
+          },
+          "queue-aware"),
+  };
+
+  const pipeline::HarvestReport report =
+      pipeline::evaluate_candidates(system_log.roundtrip(), config,
+                                    candidates);
+
+  std::cout << "harvested " << report.decisions_harvested
+            << " decisions (min propensity "
+            << util::format_double(report.min_propensity, 3) << ")\n\n";
+  for (const auto& c : report.candidates) {
+    std::cout << c.policy_name << ": estimated reward "
+              << util::format_double(c.estimate.value, 3) << "  (95% CI ["
+              << util::format_double(c.estimate.normal_ci.lo, 3) << ", "
+              << util::format_double(c.estimate.normal_ci.hi, 3) << "])\n";
+  }
+  // The wasted-potential calculator (Eq. 1 inverted, in log10 — with a
+  // healthy exploration floor the evaluable class size is astronomical):
+  // what a production volume of this traffic could evaluate offline.
+  const double daily = 2e6;
+  const core::BoundParams params;
+  const double log10_class_size =
+      std::log10(params.delta) +
+      report.min_propensity * daily * 0.05 * 0.05 / (params.c * std::log(10.0));
+  std::cout << "\nAt production volume (2M randomized decisions/day) this "
+               "system could evaluate a policy class of size ~10^"
+            << util::format_double(log10_class_size, 0)
+            << " to 0.05 accuracy, offline (Eq. 1) — optimization potential "
+               "that is otherwise wasted.\n";
+  return 0;
+}

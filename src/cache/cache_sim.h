@@ -1,0 +1,80 @@
+// The Redis-like caching simulation (Table 3). Replays a workload through a
+// CacheStore + Evictor, writes the access/eviction log that a lightly
+// instrumented Redis would produce (§3: "we added custom logging"), and
+// provides the harvesting helpers that reconstruct eviction rewards by
+// looking ahead in that log for the victim's next access.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "cache/evictor.h"
+#include "cache/store.h"
+#include "cache/workload.h"
+#include "core/dataset.h"
+#include "core/reward_model.h"
+#include "logs/log_store.h"
+
+namespace harvest::cache {
+
+struct CacheConfig {
+  std::size_t capacity_bytes = 0;
+  std::size_t eviction_samples = 5;   ///< Redis maxmemory-samples
+  std::size_t eviction_pool = 0;      ///< Redis-3.0-style pool (0 = off)
+  std::size_t num_requests = 200000;
+  std::size_t warmup_requests = 20000;///< excluded from hitrate and log
+  double request_rate = 1000.0;       ///< accesses per second (timestamps)
+  bool keep_log = true;
+  /// Optional per-measured-request observer (key, hit) for class breakdowns.
+  std::function<void(Key, bool)> on_access;
+};
+
+struct CacheResult {
+  double hit_rate = 0;
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t evictions = 0;
+  std::size_t measured_requests = 0;
+  logs::LogStore log;  ///< "access" and "evict" records (post-warmup)
+};
+
+/// Runs one deployment of `evictor` on `workload`. The evictor is mutated
+/// (GDS clock), so pass a fresh one per run.
+CacheResult run_cache(const CacheConfig& config, Workload& workload,
+                      Evictor& evictor, util::Rng& rng);
+
+/// Everything harvested from a cache log for offline work.
+struct EvictionHarvest {
+  /// The CB formulation of Table 1: context = concatenated features of the
+  /// k sampled candidates, action = which slot was evicted, reward =
+  /// normalized time-to-next-access of the victim (1 = never re-accessed
+  /// within the horizon, the best outcome), propensity = the logged
+  /// conditional choice probability.
+  core::ExplorationDataset slot_data;
+  /// (victim features, normalized time-to-next-access) regression pairs —
+  /// what the greedy CB eviction model trains on.
+  std::vector<std::pair<core::FeatureVector, double>> victim_samples;
+  std::size_t decisions_seen = 0;
+  std::size_t dropped = 0;  ///< fewer than k candidates, or missing fields
+  double horizon_seconds = 0;
+
+  EvictionHarvest() : slot_data(1, core::RewardRange{}) {}
+};
+
+/// Step 1+2 for the cache: lookahead-join each eviction to the victim's next
+/// access within `horizon_seconds` and assemble exploration data. `k` must
+/// match the eviction_samples the log was collected with.
+EvictionHarvest harvest_evictions(const logs::LogStore& log, std::size_t k,
+                                  double horizon_seconds);
+
+/// Step 3 (optimization): fit the 1-action ridge model predicting normalized
+/// time-to-next-access from candidate features; plug into CbEvictor.
+core::RewardModelPtr train_cb_eviction_model(const EvictionHarvest& harvest,
+                                             double ridge_lambda = 1.0);
+
+/// The Table 3 configuration: big/small workload with capacity at ~35% of
+/// the working set, tuned so random eviction lands near the paper's 48.5%.
+CacheConfig table3_config(const Workload& workload);
+
+}  // namespace harvest::cache

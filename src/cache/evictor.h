@@ -1,0 +1,42 @@
+// Eviction policies over a sampled candidate set — Redis's maxmemory model:
+// when space runs low, sample a handful of items uniformly and let the
+// policy pick the victim. The uniform sampling is the "existing randomness"
+// the caching scenario harvests; the policy's choice among candidates is the
+// CB action ("Actions (CB): subsample of items", Table 1).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cache/item.h"
+#include "util/rng.h"
+
+namespace harvest::cache {
+
+/// Chooses which of the sampled candidates to evict.
+class Evictor {
+ public:
+  virtual ~Evictor() = default;
+
+  Evictor(const Evictor&) = delete;
+  Evictor& operator=(const Evictor&) = delete;
+  Evictor() = default;
+
+  /// Index into `candidates` of the victim. `candidates` is non-empty.
+  virtual std::size_t choose(std::span<const ItemMeta> candidates, double now,
+                             util::Rng& rng) = 0;
+
+  /// Probability of evicting each candidate given the candidate set — the
+  /// *conditional* propensity of the choice among the sample. Deterministic
+  /// policies return one-hot.
+  virtual std::vector<double> distribution(
+      std::span<const ItemMeta> candidates, double now) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+using EvictorPtr = std::unique_ptr<Evictor>;
+
+}  // namespace harvest::cache

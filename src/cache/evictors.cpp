@@ -1,0 +1,199 @@
+#include "cache/evictors.h"
+
+#include <stdexcept>
+
+namespace harvest::cache {
+
+namespace {
+
+void check_nonempty(std::span<const ItemMeta> candidates) {
+  if (candidates.empty()) {
+    throw std::invalid_argument("Evictor: empty candidate set");
+  }
+}
+
+/// One-hot distribution at `index`.
+std::vector<double> one_hot(std::size_t n, std::size_t index) {
+  std::vector<double> d(n, 0.0);
+  d[index] = 1.0;
+  return d;
+}
+
+/// Index of the candidate maximizing `score` (ties to the first).
+template <typename ScoreFn>
+std::size_t argmax_candidate(std::span<const ItemMeta> candidates,
+                             ScoreFn&& score) {
+  std::size_t best = 0;
+  double best_score = score(candidates[0]);
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    const double s = score(candidates[i]);
+    if (s > best_score) {
+      best_score = s;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::size_t RandomEvictor::choose(std::span<const ItemMeta> candidates,
+                                  double /*now*/, util::Rng& rng) {
+  check_nonempty(candidates);
+  return rng.uniform_index(candidates.size());
+}
+
+std::vector<double> RandomEvictor::distribution(
+    std::span<const ItemMeta> candidates, double /*now*/) const {
+  check_nonempty(candidates);
+  return std::vector<double>(candidates.size(),
+                             1.0 / static_cast<double>(candidates.size()));
+}
+
+std::size_t LruEvictor::choose(std::span<const ItemMeta> candidates,
+                               double now, util::Rng& /*rng*/) {
+  check_nonempty(candidates);
+  return argmax_candidate(candidates, [now](const ItemMeta& m) {
+    return m.idle_time(now);
+  });
+}
+
+std::vector<double> LruEvictor::distribution(
+    std::span<const ItemMeta> candidates, double now) const {
+  check_nonempty(candidates);
+  return one_hot(candidates.size(),
+                 argmax_candidate(candidates, [now](const ItemMeta& m) {
+                   return m.idle_time(now);
+                 }));
+}
+
+std::size_t LfuEvictor::choose(std::span<const ItemMeta> candidates,
+                               double /*now*/, util::Rng& /*rng*/) {
+  check_nonempty(candidates);
+  return argmax_candidate(candidates, [](const ItemMeta& m) {
+    return -static_cast<double>(m.access_count);
+  });
+}
+
+std::vector<double> LfuEvictor::distribution(
+    std::span<const ItemMeta> candidates, double /*now*/) const {
+  check_nonempty(candidates);
+  return one_hot(candidates.size(),
+                 argmax_candidate(candidates, [](const ItemMeta& m) {
+                   return -static_cast<double>(m.access_count);
+                 }));
+}
+
+std::size_t FreqSizeEvictor::choose(std::span<const ItemMeta> candidates,
+                                    double now, util::Rng& /*rng*/) {
+  check_nonempty(candidates);
+  return argmax_candidate(candidates, [now](const ItemMeta& m) {
+    return -m.access_rate(now) / static_cast<double>(m.size_bytes);
+  });
+}
+
+std::vector<double> FreqSizeEvictor::distribution(
+    std::span<const ItemMeta> candidates, double now) const {
+  check_nonempty(candidates);
+  return one_hot(candidates.size(),
+                 argmax_candidate(candidates, [now](const ItemMeta& m) {
+                   return -m.access_rate(now) /
+                          static_cast<double>(m.size_bytes);
+                 }));
+}
+
+std::size_t GreedyDualSizeEvictor::choose(std::span<const ItemMeta> candidates,
+                                          double now, util::Rng& /*rng*/) {
+  check_nonempty(candidates);
+  // Victim = lowest H value; evicting it inflates the clock to its H.
+  std::size_t victim = 0;
+  double lowest_h = 0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const double h = inflation_ + candidates[i].access_rate(now) /
+                                      static_cast<double>(
+                                          candidates[i].size_bytes);
+    if (i == 0 || h < lowest_h) {
+      lowest_h = h;
+      victim = i;
+    }
+  }
+  inflation_ = lowest_h;
+  return victim;
+}
+
+std::vector<double> GreedyDualSizeEvictor::distribution(
+    std::span<const ItemMeta> candidates, double now) const {
+  check_nonempty(candidates);
+  std::size_t victim = 0;
+  double lowest_h = 0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const double h = inflation_ + candidates[i].access_rate(now) /
+                                      static_cast<double>(
+                                          candidates[i].size_bytes);
+    if (i == 0 || h < lowest_h) {
+      lowest_h = h;
+      victim = i;
+    }
+  }
+  return one_hot(candidates.size(), victim);
+}
+
+CbEvictor::CbEvictor(core::RewardModelPtr model) : model_(std::move(model)) {
+  if (!model_ || model_->num_actions() != 1) {
+    throw std::invalid_argument("CbEvictor: need a 1-action reward model");
+  }
+}
+
+std::size_t CbEvictor::choose(std::span<const ItemMeta> candidates, double now,
+                              util::Rng& /*rng*/) {
+  check_nonempty(candidates);
+  return argmax_candidate(candidates, [this, now](const ItemMeta& m) {
+    return model_->predict(m.to_features(now), 0);
+  });
+}
+
+CostAwareCbEvictor::CostAwareCbEvictor(core::RewardModelPtr model)
+    : model_(std::move(model)) {
+  if (!model_ || model_->num_actions() != 1) {
+    throw std::invalid_argument(
+        "CostAwareCbEvictor: need a 1-action reward model");
+  }
+}
+
+std::size_t CostAwareCbEvictor::choose(std::span<const ItemMeta> candidates,
+                                       double now, util::Rng& /*rng*/) {
+  check_nonempty(candidates);
+  return argmax_candidate(candidates, [this, now](const ItemMeta& m) {
+    // Predicted byte-seconds held hostage: model output (normalized idle
+    // time) scaled by the candidate's footprint.
+    return model_->predict(m.to_features(now), 0) *
+           static_cast<double>(m.size_bytes);
+  });
+}
+
+std::vector<double> CostAwareCbEvictor::distribution(
+    std::span<const ItemMeta> candidates, double now) const {
+  check_nonempty(candidates);
+  return one_hot(candidates.size(),
+                 argmax_candidate(candidates, [this, now](const ItemMeta& m) {
+                   return model_->predict(m.to_features(now), 0) *
+                          static_cast<double>(m.size_bytes);
+                 }));
+}
+
+std::vector<double> CbEvictor::distribution(
+    std::span<const ItemMeta> candidates, double now) const {
+  check_nonempty(candidates);
+  std::size_t best = 0;
+  double best_score = model_->predict(candidates[0].to_features(now), 0);
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    const double s = model_->predict(candidates[i].to_features(now), 0);
+    if (s > best_score) {
+      best_score = s;
+      best = i;
+    }
+  }
+  return one_hot(candidates.size(), best);
+}
+
+}  // namespace harvest::cache

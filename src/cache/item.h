@@ -1,0 +1,51 @@
+// Cache item metadata — the per-item contextual information Redis keeps
+// (last access time, frequency counter) plus size, which Table 3's winning
+// heuristic needs. A snapshot of this metadata for each sampled eviction
+// candidate is the CB context of an eviction decision.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/feature_vector.h"
+
+namespace harvest::cache {
+
+using Key = std::uint64_t;
+
+/// Live metadata for one cached item.
+struct ItemMeta {
+  Key key = 0;
+  std::size_t size_bytes = 0;
+  double insert_time = 0;
+  double last_access = 0;
+  std::uint64_t access_count = 0;  ///< accesses since insertion (incl. put)
+
+  /// Minimum observation window for rate estimates. Without it a
+  /// just-inserted item (count 1, age ~0) gets an absurdly high estimated
+  /// rate and every frequency-based policy spares it forever.
+  static constexpr double kMinRateWindow = 2.0;
+
+  /// Empirical access rate (per second) since insertion, over at least
+  /// kMinRateWindow seconds of (assumed) observation.
+  double access_rate(double now) const {
+    const double alive = now - insert_time;
+    return static_cast<double>(access_count) /
+           (alive > kMinRateWindow ? alive : kMinRateWindow);
+  }
+
+  /// Seconds since the last access.
+  double idle_time(double now) const { return now - last_access; }
+
+  static constexpr std::size_t kNumFeatures = 4;
+
+  /// CB features of this candidate at decision time:
+  /// [size_kb, idle_seconds, access_rate, age_seconds].
+  core::FeatureVector to_features(double now) const {
+    return core::FeatureVector{static_cast<double>(size_bytes) / 1024.0,
+                               idle_time(now), access_rate(now),
+                               now - insert_time};
+  }
+};
+
+}  // namespace harvest::cache

@@ -1,0 +1,148 @@
+#include "cache/store.h"
+
+#include <stdexcept>
+
+namespace harvest::cache {
+
+CacheStore::CacheStore(std::size_t capacity_bytes,
+                       std::size_t eviction_samples, std::size_t pool_size)
+    : capacity_bytes_(capacity_bytes),
+      eviction_samples_(eviction_samples),
+      pool_size_(pool_size) {
+  if (capacity_bytes == 0) {
+    throw std::invalid_argument("CacheStore: zero capacity");
+  }
+  if (eviction_samples == 0) {
+    throw std::invalid_argument("CacheStore: eviction_samples >= 1");
+  }
+}
+
+bool CacheStore::lookup(Key key, double now) {
+  const auto it = items_.find(key);
+  if (it == items_.end()) return false;
+  it->second.last_access = now;
+  ++it->second.access_count;
+  return true;
+}
+
+std::vector<ItemMeta> CacheStore::sample_candidates(util::Rng& rng) const {
+  std::vector<ItemMeta> candidates;
+  const std::size_t k = std::min(eviction_samples_, key_list_.size());
+  candidates.reserve(k + pool_.size());
+  // Pool entries first (with refreshed metadata); stale keys are skipped.
+  for (Key key : pool_) {
+    const auto it = items_.find(key);
+    if (it != items_.end()) candidates.push_back(it->second);
+  }
+  // Partial Fisher-Yates over indices would mutate; instead draw distinct
+  // indices via rejection (k is tiny relative to the key space in practice,
+  // and duplicates are re-drawn).
+  std::vector<std::size_t> picked;
+  picked.reserve(k);
+  while (picked.size() < k) {
+    const std::size_t idx = rng.uniform_index(key_list_.size());
+    bool dup = false;
+    for (std::size_t p : picked) {
+      if (p == idx) {
+        dup = true;
+        break;
+      }
+    }
+    if (dup) continue;
+    const Key key = key_list_[idx];
+    // Avoid duplicating a pool entry.
+    bool in_pool = false;
+    for (const auto& c : candidates) {
+      if (c.key == key) {
+        in_pool = true;
+        break;
+      }
+    }
+    picked.push_back(idx);
+    if (!in_pool) candidates.push_back(items_.at(key));
+  }
+  return candidates;
+}
+
+void CacheStore::remove(Key key) {
+  const auto it = items_.find(key);
+  if (it == items_.end()) {
+    throw std::logic_error("CacheStore::remove: key not resident");
+  }
+  used_bytes_ -= it->second.size_bytes;
+  items_.erase(it);
+
+  const std::size_t slot = key_slot_.at(key);
+  const Key last_key = key_list_.back();
+  key_list_[slot] = last_key;
+  key_slot_[last_key] = slot;
+  key_list_.pop_back();
+  key_slot_.erase(key);
+}
+
+void CacheStore::insert(Key key, std::size_t size_bytes, double now,
+                        Evictor& evictor, util::Rng& rng) {
+  if (size_bytes > capacity_bytes_) {
+    throw std::invalid_argument("CacheStore::insert: item exceeds capacity");
+  }
+  if (const auto it = items_.find(key); it != items_.end()) {
+    // Refresh: treat as an access plus a (possible) size change.
+    used_bytes_ -= it->second.size_bytes;
+    it->second.size_bytes = size_bytes;
+    it->second.last_access = now;
+    ++it->second.access_count;
+    used_bytes_ += size_bytes;
+  } else {
+    ItemMeta meta;
+    meta.key = key;
+    meta.size_bytes = size_bytes;
+    meta.insert_time = now;
+    meta.last_access = now;
+    meta.access_count = 1;
+    items_.emplace(key, meta);
+    key_slot_[key] = key_list_.size();
+    key_list_.push_back(key);
+    used_bytes_ += size_bytes;
+  }
+
+  while (used_bytes_ > capacity_bytes_) {
+    EvictionEvent event;
+    event.time = now;
+    event.candidates = sample_candidates(rng);
+    // Never evict the item we just inserted if there is any alternative —
+    // mirrors Redis, which excludes the incoming write from sampling.
+    if (event.candidates.size() > 1) {
+      for (std::size_t i = 0; i < event.candidates.size(); ++i) {
+        if (event.candidates[i].key == key) {
+          event.candidates.erase(event.candidates.begin() +
+                                 static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+    }
+    event.choice_distribution = evictor.distribution(event.candidates, now);
+    event.chosen = evictor.choose(event.candidates, now, rng);
+    if (event.chosen >= event.candidates.size()) {
+      throw std::logic_error("CacheStore: evictor chose invalid candidate");
+    }
+    remove(event.candidates[event.chosen].key);
+    ++evictions_;
+    if (pool_size_ > 0) {
+      // Retain the runners-up for the next decision (Redis eviction pool).
+      pool_.clear();
+      for (std::size_t i = 0;
+           i < event.candidates.size() && pool_.size() < pool_size_; ++i) {
+        if (i != event.chosen) pool_.push_back(event.candidates[i].key);
+      }
+    }
+    if (on_evict_) on_evict_(event);
+  }
+}
+
+std::optional<ItemMeta> CacheStore::meta(Key key) const {
+  const auto it = items_.find(key);
+  if (it == items_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace harvest::cache

@@ -1,0 +1,83 @@
+// A byte-budgeted key-value store with Redis-style sampled eviction. On
+// insert, while the budget is exceeded, a uniform sample of resident items
+// is drawn and the Evictor picks a victim. Sampling keys uniformly in O(1)
+// uses a dense key vector with swap-remove, like Redis's dict sampling.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/evictor.h"
+#include "cache/item.h"
+#include "util/rng.h"
+
+namespace harvest::cache {
+
+/// Details of one eviction decision, surfaced so the simulation can log it
+/// (the harvesting hook).
+struct EvictionEvent {
+  double time = 0;
+  std::vector<ItemMeta> candidates;         ///< the uniform sample
+  std::size_t chosen = 0;                   ///< index into candidates
+  std::vector<double> choice_distribution;  ///< evictor's propensities
+};
+
+class CacheStore {
+ public:
+  /// `capacity_bytes` > 0; `eviction_samples` >= 1 (Redis default 5).
+  /// `pool_size` > 0 enables a Redis-3.0-style eviction pool: the
+  /// non-chosen candidates of each decision are retained and merged into
+  /// the next decision's candidate set, so good victims found by earlier
+  /// samples are not forgotten. Sharpens approximated policies (LRU/LFU/
+  /// freq-size) at the cost of a non-uniform candidate distribution — keep
+  /// it off when the decision stream is being harvested with 1/k
+  /// propensities.
+  CacheStore(std::size_t capacity_bytes, std::size_t eviction_samples,
+             std::size_t pool_size = 0);
+
+  /// True (hit) if the key is resident; updates its access metadata.
+  bool lookup(Key key, double now);
+
+  /// Inserts (or refreshes) an item, evicting as needed. The item must fit
+  /// in the cache at all (size <= capacity), else std::invalid_argument.
+  /// Each eviction decision is reported through `on_evict` if set.
+  void insert(Key key, std::size_t size_bytes, double now,
+              Evictor& evictor, util::Rng& rng);
+
+  /// Observer for eviction decisions (harvesting hook).
+  void set_eviction_observer(std::function<void(const EvictionEvent&)> cb) {
+    on_evict_ = std::move(cb);
+  }
+
+  bool contains(Key key) const { return items_.count(key) > 0; }
+  std::size_t size_items() const { return items_.size(); }
+  std::size_t used_bytes() const { return used_bytes_; }
+  std::size_t capacity_bytes() const { return capacity_bytes_; }
+  std::size_t evictions() const { return evictions_; }
+
+  /// Metadata snapshot of a resident item (tests).
+  std::optional<ItemMeta> meta(Key key) const;
+
+ private:
+  /// Uniform sample (without replacement) of up to `eviction_samples_`
+  /// resident items, merged with the still-resident eviction pool.
+  std::vector<ItemMeta> sample_candidates(util::Rng& rng) const;
+
+  void remove(Key key);
+
+  std::size_t capacity_bytes_;
+  std::size_t eviction_samples_;
+  std::size_t pool_size_;
+  std::vector<Key> pool_;  // keys of retained candidates (may be stale)
+  std::size_t used_bytes_ = 0;
+  std::size_t evictions_ = 0;
+  std::unordered_map<Key, ItemMeta> items_;
+  std::vector<Key> key_list_;                     // dense, for O(1) sampling
+  std::unordered_map<Key, std::size_t> key_slot_; // key -> index in key_list_
+  std::function<void(const EvictionEvent&)> on_evict_;
+};
+
+}  // namespace harvest::cache

@@ -1,0 +1,94 @@
+#include "cache/workload.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace harvest::cache {
+
+std::size_t Workload::working_set_bytes() const {
+  std::size_t total = 0;
+  for (Key k = 0; k < num_keys(); ++k) total += size_of(k);
+  return total;
+}
+
+namespace {
+std::vector<double> big_small_weights(const BigSmallWorkload::Config& c) {
+  if (c.num_large == 0 && c.num_small == 0) {
+    throw std::invalid_argument("BigSmallWorkload: no items");
+  }
+  if (c.large_weight < 0 || c.small_weight < 0 ||
+      c.large_weight + c.small_weight <= 0) {
+    throw std::invalid_argument("BigSmallWorkload: bad weights");
+  }
+  std::vector<double> w;
+  w.reserve(c.num_large + c.num_small);
+  for (std::size_t i = 0; i < c.num_large; ++i) w.push_back(c.large_weight);
+  if (c.num_small > 0) {
+    // Zipf(skew) within the small class, normalized to mean small_weight.
+    std::vector<double> zipf(c.num_small);
+    double total = 0;
+    for (std::size_t j = 0; j < c.num_small; ++j) {
+      zipf[j] = 1.0 / std::pow(static_cast<double>(j + 1), c.small_zipf_skew);
+      total += zipf[j];
+    }
+    const double scale =
+        c.small_weight * static_cast<double>(c.num_small) / total;
+    for (double z : zipf) w.push_back(z * scale);
+  }
+  return w;
+}
+}  // namespace
+
+BigSmallWorkload::BigSmallWorkload(Config config)
+    : config_(config), sampler_(big_small_weights(config)) {
+  if (config.large_size == 0 || config.small_size == 0) {
+    throw std::invalid_argument("BigSmallWorkload: zero item size");
+  }
+}
+
+Key BigSmallWorkload::next(util::Rng& rng) {
+  return static_cast<Key>(sampler_.sample(rng));
+}
+
+std::size_t BigSmallWorkload::size_of(Key key) const {
+  if (key >= num_keys()) {
+    throw std::out_of_range("BigSmallWorkload::size_of");
+  }
+  return is_large(key) ? config_.large_size : config_.small_size;
+}
+
+std::size_t BigSmallWorkload::num_keys() const {
+  return config_.num_large + config_.num_small;
+}
+
+ZipfWorkload::ZipfWorkload(Config config)
+    : config_(config), zipf_(config.num_keys, config.exponent) {
+  if (config.num_keys == 0) {
+    throw std::invalid_argument("ZipfWorkload: no keys");
+  }
+  if (config.min_size == 0 || config.max_size < config.min_size) {
+    throw std::invalid_argument("ZipfWorkload: bad size range");
+  }
+}
+
+Key ZipfWorkload::next(util::Rng& rng) {
+  return static_cast<Key>(zipf_.sample(rng));
+}
+
+std::size_t ZipfWorkload::size_of(Key key) const {
+  if (key >= config_.num_keys) throw std::out_of_range("ZipfWorkload");
+  // Deterministic pseudo-random size per key, geometric-ish across the
+  // range: hash the key into [0,1) and interpolate on a log scale.
+  const double u =
+      static_cast<double>(util::fnv1a64(static_cast<std::uint64_t>(key)) >>
+                          11) *
+      0x1.0p-53;
+  const double log_min = std::log(static_cast<double>(config_.min_size));
+  const double log_max = std::log(static_cast<double>(config_.max_size));
+  return static_cast<std::size_t>(std::exp(log_min + u * (log_max - log_min)));
+}
+
+}  // namespace harvest::cache

@@ -1,0 +1,92 @@
+// Cache workload generators. The headline Table 3 workload is the paper's
+// big/small mixture: "a few frequently-queried large items and many
+// less-frequently-queried small items. The large items are queried twice as
+// frequently but are four times as big: it is thus more efficient to cache
+// the small items." A Zipf workload is included for ablations.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cache/item.h"
+#include "stats/distributions.h"
+#include "util/rng.h"
+
+namespace harvest::cache {
+
+/// A stream of (key, size) accesses.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// The next key accessed.
+  virtual Key next(util::Rng& rng) = 0;
+  /// Size of a key's value (fixed per key).
+  virtual std::size_t size_of(Key key) const = 0;
+  virtual std::size_t num_keys() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Total bytes if every key were resident (working-set size).
+  std::size_t working_set_bytes() const;
+};
+
+/// The big/small mixture of §5.
+class BigSmallWorkload final : public Workload {
+ public:
+  struct Config {
+    // "A few frequently-queried large items and many less-frequently-queried
+    // small items": sizes 4:1 and per-item weights 2:1 exactly as in §5.
+    // The counts put the large items at ~10% of traffic, which (see
+    // bench/table3_caching.cpp) is precisely the hitrate gap a size-blind
+    // greedy policy gives up by pinning them.
+    std::size_t num_large = 50;
+    std::size_t num_small = 900;
+    std::size_t large_size = 4096;  ///< 4x the small size (paper)
+    std::size_t small_size = 1024;
+    double large_weight = 2.0;  ///< per-item query weight: 2x (paper)
+    double small_weight = 1.0;  ///< *mean* per-item small weight
+    /// Popularity skew within the small class (0 = uniform). Small item j
+    /// gets weight proportional to 1/(j+1)^skew, rescaled so the class mean
+    /// stays small_weight. A frequency-aware policy can then choose *which*
+    /// smalls to keep, not just small-vs-large.
+    double small_zipf_skew = 0.0;
+  };
+
+  explicit BigSmallWorkload(Config config);
+
+  Key next(util::Rng& rng) override;
+  std::size_t size_of(Key key) const override;
+  std::size_t num_keys() const override;
+  std::string name() const override { return "big-small"; }
+
+  bool is_large(Key key) const { return key < config_.num_large; }
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  stats::AliasTable sampler_;
+};
+
+/// Zipf-popular keys with lognormal-ish deterministic sizes (ablations).
+class ZipfWorkload final : public Workload {
+ public:
+  struct Config {
+    std::size_t num_keys = 5000;
+    double exponent = 0.9;
+    std::size_t min_size = 64;
+    std::size_t max_size = 8192;
+  };
+
+  explicit ZipfWorkload(Config config);
+
+  Key next(util::Rng& rng) override;
+  std::size_t size_of(Key key) const override;
+  std::size_t num_keys() const override { return config_.num_keys; }
+  std::string name() const override { return "zipf"; }
+
+ private:
+  Config config_;
+  stats::Zipf zipf_;
+};
+
+}  // namespace harvest::cache

@@ -1,0 +1,68 @@
+#include "core/bounds.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace harvest::core {
+
+namespace {
+void check(double n, double k, BoundParams params) {
+  if (n <= 0) throw std::invalid_argument("bounds: N must be > 0");
+  if (k < 1) throw std::invalid_argument("bounds: K must be >= 1");
+  if (params.delta <= 0 || params.delta >= 1) {
+    throw std::invalid_argument("bounds: delta in (0,1)");
+  }
+  if (params.c <= 0) throw std::invalid_argument("bounds: C must be > 0");
+}
+}  // namespace
+
+double cb_ci_width(double n, double k, double epsilon, BoundParams params) {
+  check(n, k, params);
+  if (epsilon <= 0 || epsilon > 1) {
+    throw std::invalid_argument("bounds: epsilon in (0,1]");
+  }
+  return std::sqrt(params.c / (epsilon * n) * std::log(k / params.delta));
+}
+
+double ab_ci_width(double n, double k, BoundParams params) {
+  check(n, k, params);
+  return params.c * std::sqrt(k / n) * std::log(k / params.delta);
+}
+
+double cb_required_n(double k, double epsilon, double target_width,
+                     BoundParams params) {
+  if (target_width <= 0) {
+    throw std::invalid_argument("bounds: target_width > 0");
+  }
+  check(1, k, params);
+  if (epsilon <= 0 || epsilon > 1) {
+    throw std::invalid_argument("bounds: epsilon in (0,1]");
+  }
+  return params.c * std::log(k / params.delta) /
+         (epsilon * target_width * target_width);
+}
+
+double ab_required_n(double k, double target_width, BoundParams params) {
+  if (target_width <= 0) {
+    throw std::invalid_argument("bounds: target_width > 0");
+  }
+  check(1, k, params);
+  const double log_term = std::log(k / params.delta);
+  return params.c * params.c * k * log_term * log_term /
+         (target_width * target_width);
+}
+
+double max_policy_class_size(double n, double epsilon, double target_width,
+                             BoundParams params) {
+  check(n, 1, params);
+  if (epsilon <= 0 || epsilon > 1) {
+    throw std::invalid_argument("bounds: epsilon in (0,1]");
+  }
+  if (target_width <= 0) {
+    throw std::invalid_argument("bounds: target_width > 0");
+  }
+  return params.delta *
+         std::exp(epsilon * n * target_width * target_width / params.c);
+}
+
+}  // namespace harvest::core

@@ -1,0 +1,40 @@
+// Closed-form sample-complexity bounds of §4: Eq. 1's simultaneous CB
+// confidence width, the A/B-testing counterpart, their inversions N(K)
+// plotted in Fig. 1, and the "wasted optimization potential" calculator.
+#pragma once
+
+#include <cstddef>
+
+namespace harvest::core {
+
+/// Parameters shared by the theoretical bounds. `c` is the paper's "small
+/// constant C"; the defaults reproduce the figures' "typical constants".
+struct BoundParams {
+  double c = 2.0;        ///< constant C of Eq. 1
+  double delta = 0.05;   ///< failure probability
+};
+
+/// Eq. 1: CI width sqrt( C / (eps*N) * log(K/delta) ) holding for all K
+/// policies simultaneously, when every action has propensity >= eps and
+/// rewards lie in [0, 1].
+double cb_ci_width(double n, double k, double epsilon, BoundParams params);
+
+/// A/B testing counterpart from §4: width C * sqrt(K/N) * log(K/delta).
+/// (Each policy only sees its own 1/K share of traffic.)
+double ab_ci_width(double n, double k, BoundParams params);
+
+/// Smallest N such that cb_ci_width(N, K, eps) <= target_width.
+double cb_required_n(double k, double epsilon, double target_width,
+                     BoundParams params);
+
+/// Smallest N such that ab_ci_width(N, K) <= target_width.
+double ab_required_n(double k, double target_width, BoundParams params);
+
+/// The paper's wasted-potential measure: the largest policy-class size K
+/// whose simultaneous evaluation reaches `target_width` accuracy given N
+/// logged randomized decisions with min propensity eps.
+/// K = delta * exp(eps * N * width^2 / C).
+double max_policy_class_size(double n, double epsilon, double target_width,
+                             BoundParams params);
+
+}  // namespace harvest::core

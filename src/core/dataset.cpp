@@ -1,0 +1,136 @@
+#include "core/dataset.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "core/policy.h"
+
+namespace harvest::core {
+
+ExplorationDataset::ExplorationDataset(std::size_t num_actions,
+                                       RewardRange range)
+    : num_actions_(num_actions), range_(range) {
+  if (num_actions == 0) {
+    throw std::invalid_argument("ExplorationDataset: num_actions == 0");
+  }
+}
+
+void ExplorationDataset::add(ExplorationPoint point) {
+  if (point.action >= num_actions_) {
+    throw std::invalid_argument("ExplorationDataset::add: bad action id");
+  }
+  if (point.propensity <= 0.0 || point.propensity > 1.0) {
+    throw std::invalid_argument(
+        "ExplorationDataset::add: propensity must be in (0, 1]");
+  }
+  points_.push_back(std::move(point));
+}
+
+double ExplorationDataset::min_propensity() const {
+  double min_p = points_.empty() ? 0.0 : 1.0;
+  for (const auto& pt : points_) min_p = std::min(min_p, pt.propensity);
+  return min_p;
+}
+
+void ExplorationDataset::shuffle(util::Rng& rng) { rng.shuffle(points_); }
+
+ExplorationDataset ExplorationDataset::prefix(std::size_t n) const {
+  ExplorationDataset out(num_actions_, range_);
+  const std::size_t take = std::min(n, points_.size());
+  out.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) out.add(points_[i]);
+  return out;
+}
+
+std::pair<ExplorationDataset, ExplorationDataset> ExplorationDataset::split(
+    double train_fraction) const {
+  if (train_fraction < 0 || train_fraction > 1) {
+    throw std::invalid_argument("split: train_fraction in [0,1]");
+  }
+  const auto cut =
+      static_cast<std::size_t>(train_fraction *
+                               static_cast<double>(points_.size()));
+  ExplorationDataset train(num_actions_, range_);
+  ExplorationDataset test(num_actions_, range_);
+  train.reserve(cut);
+  test.reserve(points_.size() - cut);
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    (i < cut ? train : test).add(points_[i]);
+  }
+  return {std::move(train), std::move(test)};
+}
+
+FullFeedbackDataset::FullFeedbackDataset(std::size_t num_actions,
+                                         RewardRange range)
+    : num_actions_(num_actions), range_(range) {
+  if (num_actions == 0) {
+    throw std::invalid_argument("FullFeedbackDataset: num_actions == 0");
+  }
+}
+
+void FullFeedbackDataset::add(FullFeedbackPoint point) {
+  if (point.rewards.size() != num_actions_) {
+    throw std::invalid_argument(
+        "FullFeedbackDataset::add: rewards size != num_actions");
+  }
+  points_.push_back(std::move(point));
+}
+
+std::pair<FullFeedbackDataset, FullFeedbackDataset> FullFeedbackDataset::split(
+    double train_fraction) const {
+  if (train_fraction < 0 || train_fraction > 1) {
+    throw std::invalid_argument("split: train_fraction in [0,1]");
+  }
+  const auto cut =
+      static_cast<std::size_t>(train_fraction *
+                               static_cast<double>(points_.size()));
+  FullFeedbackDataset train(num_actions_, range_);
+  FullFeedbackDataset test(num_actions_, range_);
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    (i < cut ? train : test).add(points_[i]);
+  }
+  return {std::move(train), std::move(test)};
+}
+
+double FullFeedbackDataset::true_value(const Policy& policy) const {
+  if (empty()) throw std::logic_error("true_value: empty dataset");
+  if (policy.num_actions() != num_actions_) {
+    throw std::invalid_argument("true_value: action-set size mismatch");
+  }
+  double total = 0;
+  for (const auto& pt : points_) {
+    const std::vector<double> dist = policy.distribution(pt.context);
+    for (std::size_t a = 0; a < num_actions_; ++a) {
+      total += dist[a] * pt.rewards[a];
+    }
+  }
+  return total / static_cast<double>(points_.size());
+}
+
+double FullFeedbackDataset::best_value() const {
+  if (empty()) throw std::logic_error("best_value: empty dataset");
+  double total = 0;
+  for (const auto& pt : points_) {
+    total += *std::max_element(pt.rewards.begin(), pt.rewards.end());
+  }
+  return total / static_cast<double>(points_.size());
+}
+
+ExplorationDataset FullFeedbackDataset::simulate_exploration(
+    const Policy& logging, util::Rng& rng) const {
+  if (logging.num_actions() != num_actions_) {
+    throw std::invalid_argument(
+        "simulate_exploration: action-set size mismatch");
+  }
+  ExplorationDataset out(num_actions_, range_);
+  out.reserve(points_.size());
+  for (const auto& pt : points_) {
+    const std::vector<double> dist = logging.distribution(pt.context);
+    const auto a = static_cast<ActionId>(rng.categorical(dist));
+    out.add(ExplorationPoint{pt.context, a, pt.rewards[a], dist[a]});
+  }
+  return out;
+}
+
+}  // namespace harvest::core

@@ -1,0 +1,90 @@
+// Exploration and full-feedback datasets, including the paper's
+// partial-feedback simulation: revealing only a randomly chosen action's
+// reward from full-feedback data (§4, Figs. 3 and 4).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.h"
+#include "util/rng.h"
+
+namespace harvest::core {
+
+class Policy;  // policy.h; Dataset only needs a reference
+
+/// A bag of ⟨x, a, r, p⟩ tuples over a fixed action set.
+class ExplorationDataset {
+ public:
+  ExplorationDataset(std::size_t num_actions, RewardRange range);
+
+  void add(ExplorationPoint point);
+  void reserve(std::size_t n) { points_.reserve(n); }
+
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  std::size_t num_actions() const { return num_actions_; }
+  const RewardRange& reward_range() const { return range_; }
+  const ExplorationPoint& operator[](std::size_t i) const {
+    return points_[i];
+  }
+  const std::vector<ExplorationPoint>& points() const { return points_; }
+
+  /// Smallest propensity in the data — the ε of Eq. 1. Returns 0 on empty.
+  double min_propensity() const;
+
+  /// In-place Fisher–Yates shuffle (use before splitting time-ordered logs).
+  void shuffle(util::Rng& rng);
+
+  /// First `n` points as a new dataset (use after shuffle for subsampling).
+  ExplorationDataset prefix(std::size_t n) const;
+
+  /// Splits into (train, test) with `train_fraction` of points in train.
+  std::pair<ExplorationDataset, ExplorationDataset> split(
+      double train_fraction) const;
+
+ private:
+  std::size_t num_actions_;
+  RewardRange range_;
+  std::vector<ExplorationPoint> points_;
+};
+
+/// A supervised dataset: rewards of all actions known for every context.
+class FullFeedbackDataset {
+ public:
+  FullFeedbackDataset(std::size_t num_actions, RewardRange range);
+
+  void add(FullFeedbackPoint point);
+  void reserve(std::size_t n) { points_.reserve(n); }
+
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  std::size_t num_actions() const { return num_actions_; }
+  const RewardRange& reward_range() const { return range_; }
+  const FullFeedbackPoint& operator[](std::size_t i) const {
+    return points_[i];
+  }
+  const std::vector<FullFeedbackPoint>& points() const { return points_; }
+
+  std::pair<FullFeedbackDataset, FullFeedbackDataset> split(
+      double train_fraction) const;
+
+  /// Ground-truth average reward of a (possibly randomized) policy: for each
+  /// context, the policy's action distribution dotted with the true rewards.
+  double true_value(const Policy& policy) const;
+
+  /// Average reward of the per-context best action — the supervised skyline.
+  double best_value() const;
+
+  /// The paper's exploration simulation: for each context draw one action
+  /// from `logging` and reveal only its reward, producing ⟨x, a, r, p⟩.
+  ExplorationDataset simulate_exploration(const Policy& logging,
+                                          util::Rng& rng) const;
+
+ private:
+  std::size_t num_actions_;
+  RewardRange range_;
+  std::vector<FullFeedbackPoint> points_;
+};
+
+}  // namespace harvest::core

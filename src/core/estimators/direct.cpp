@@ -1,0 +1,76 @@
+#include "core/estimators/direct.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace harvest::core {
+
+namespace {
+void check_compatible(const ExplorationDataset& data, const Policy& policy,
+                      const RewardModel& model) {
+  if (data.empty()) throw std::invalid_argument("evaluate: empty dataset");
+  if (policy.num_actions() != data.num_actions() ||
+      model.num_actions() != data.num_actions()) {
+    throw std::invalid_argument("evaluate: action-set size mismatch");
+  }
+}
+
+double expected_model_reward(const RewardModel& model, const Policy& policy,
+                             const FeatureVector& x) {
+  const std::vector<double> dist = policy.distribution(x);
+  double v = 0;
+  for (std::size_t a = 0; a < dist.size(); ++a) {
+    if (dist[a] > 0) v += dist[a] * model.predict(x, static_cast<ActionId>(a));
+  }
+  return v;
+}
+}  // namespace
+
+DirectMethodEstimator::DirectMethodEstimator(RewardModelPtr model)
+    : model_(std::move(model)) {
+  if (!model_) throw std::invalid_argument("DirectMethodEstimator: null model");
+}
+
+Estimate DirectMethodEstimator::evaluate(const ExplorationDataset& data,
+                                         const Policy& policy,
+                                         double delta) const {
+  check_compatible(data, policy, *model_);
+  std::vector<double> contributions;
+  contributions.reserve(data.size());
+  for (const auto& pt : data.points()) {
+    contributions.push_back(expected_model_reward(*model_, policy, pt.context));
+  }
+  return finish(contributions, data.size(), delta,
+                data.reward_range().width());
+}
+
+DoublyRobustEstimator::DoublyRobustEstimator(RewardModelPtr model)
+    : model_(std::move(model)) {
+  if (!model_) throw std::invalid_argument("DoublyRobustEstimator: null model");
+}
+
+Estimate DoublyRobustEstimator::evaluate(const ExplorationDataset& data,
+                                         const Policy& policy,
+                                         double delta) const {
+  check_compatible(data, policy, *model_);
+  std::vector<double> contributions;
+  contributions.reserve(data.size());
+  std::size_t matched = 0;
+  double max_abs = 0;
+  for (const auto& pt : data.points()) {
+    const double dm = expected_model_reward(*model_, policy, pt.context);
+    const double pi_a = policy.probability(pt.context, pt.action);
+    if (pi_a > 0) ++matched;
+    const double correction =
+        pi_a / pt.propensity *
+        (pt.reward - model_->predict(pt.context, pt.action));
+    contributions.push_back(dm + correction);
+    max_abs = std::max(max_abs, std::abs(dm + correction));
+  }
+  const double range =
+      std::max(data.reward_range().width(), 2 * max_abs);
+  return finish(contributions, matched, delta, range);
+}
+
+}  // namespace harvest::core

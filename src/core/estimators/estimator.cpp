@@ -1,0 +1,31 @@
+#include "core/estimators/estimator.h"
+
+#include <stdexcept>
+
+#include "stats/summary.h"
+
+namespace harvest::core {
+
+Estimate OffPolicyEstimator::finish(const std::vector<double>& per_point,
+                                    std::size_t matched, double delta,
+                                    double range) {
+  if (per_point.empty()) {
+    throw std::invalid_argument("OffPolicyEstimator: no datapoints");
+  }
+  stats::Summary summary;
+  for (double v : per_point) summary.add(v);
+
+  Estimate est;
+  est.value = summary.mean();
+  est.n = per_point.size();
+  est.matched = matched;
+  est.stderr_value = summary.stderr_mean();
+  const double z = stats::normal_critical(delta);
+  est.normal_ci = {est.value - z * est.stderr_value,
+                   est.value + z * est.stderr_value};
+  est.bernstein_ci = stats::bernstein_interval(
+      est.value, est.n, delta, summary.variance(), range);
+  return est;
+}
+
+}  // namespace harvest::core

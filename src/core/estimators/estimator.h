@@ -1,0 +1,48 @@
+// Off-policy estimator interface (§4 of the paper): given exploration data
+// ⟨x, a, r, p⟩ from a logged policy, estimate the average reward a candidate
+// policy π would have obtained.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/dataset.h"
+#include "core/policy.h"
+#include "stats/ci.h"
+
+namespace harvest::core {
+
+/// The result of evaluating one policy offline.
+struct Estimate {
+  double value = 0;            ///< estimated average reward of the policy
+  std::size_t n = 0;           ///< datapoints consumed
+  std::size_t matched = 0;     ///< points where pi gave the logged action
+                               ///< nonzero probability
+  double stderr_value = 0;     ///< standard error of `value`
+  stats::Interval normal_ci;   ///< asymptotic-normal CI at the given delta
+  stats::Interval bernstein_ci;///< finite-sample empirical-Bernstein CI
+};
+
+/// Base class for all off-policy estimators.
+class OffPolicyEstimator {
+ public:
+  virtual ~OffPolicyEstimator() = default;
+
+  /// Estimates the value of `policy` from `data` with two-sided confidence
+  /// level 1 - delta.
+  virtual Estimate evaluate(const ExplorationDataset& data,
+                            const Policy& policy,
+                            double delta = 0.05) const = 0;
+
+  virtual std::string name() const = 0;
+
+ protected:
+  /// Finishes an estimate from per-point contribution values whose mean is
+  /// the estimator's value: fills stderr and both confidence intervals.
+  static Estimate finish(const std::vector<double>& per_point,
+                         std::size_t matched, double delta, double range);
+};
+
+using EstimatorPtr = std::shared_ptr<const OffPolicyEstimator>;
+
+}  // namespace harvest::core

@@ -1,0 +1,118 @@
+#include "core/estimators/ips.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace harvest::core {
+
+namespace {
+void check_compatible(const ExplorationDataset& data, const Policy& policy) {
+  if (data.empty()) throw std::invalid_argument("evaluate: empty dataset");
+  if (policy.num_actions() != data.num_actions()) {
+    throw std::invalid_argument("evaluate: action-set size mismatch");
+  }
+}
+}  // namespace
+
+Estimate IpsEstimator::evaluate(const ExplorationDataset& data,
+                                const Policy& policy, double delta) const {
+  check_compatible(data, policy);
+  std::vector<double> contributions;
+  contributions.reserve(data.size());
+  std::size_t matched = 0;
+  double max_contribution = 0;
+  for (const auto& pt : data.points()) {
+    const double pi_a = policy.probability(pt.context, pt.action);
+    const double w = pi_a / pt.propensity;
+    if (pi_a > 0) ++matched;
+    contributions.push_back(w * pt.reward);
+    max_contribution = std::max(max_contribution, std::abs(w * pt.reward));
+  }
+  // The per-point contribution range for the Bernstein CI: rewards scaled by
+  // importance weights can exceed the raw reward range by 1/min_p.
+  const double range = std::max(
+      data.reward_range().width() / std::max(data.min_propensity(), 1e-12),
+      max_contribution);
+  return finish(contributions, matched, delta, range);
+}
+
+ClippedIpsEstimator::ClippedIpsEstimator(double max_weight)
+    : max_weight_(max_weight) {
+  if (max_weight <= 0) {
+    throw std::invalid_argument("ClippedIpsEstimator: max_weight > 0");
+  }
+}
+
+Estimate ClippedIpsEstimator::evaluate(const ExplorationDataset& data,
+                                       const Policy& policy,
+                                       double delta) const {
+  check_compatible(data, policy);
+  std::vector<double> contributions;
+  contributions.reserve(data.size());
+  std::size_t matched = 0;
+  for (const auto& pt : data.points()) {
+    const double pi_a = policy.probability(pt.context, pt.action);
+    const double w = std::min(pi_a / pt.propensity, max_weight_);
+    if (pi_a > 0) ++matched;
+    contributions.push_back(w * pt.reward);
+  }
+  const double range = data.reward_range().width() * max_weight_;
+  return finish(contributions, matched, delta, range);
+}
+
+std::string ClippedIpsEstimator::name() const {
+  return "clipped-ips(" + std::to_string(max_weight_) + ")";
+}
+
+Estimate SnipsEstimator::evaluate(const ExplorationDataset& data,
+                                  const Policy& policy, double delta) const {
+  check_compatible(data, policy);
+  double weight_sum = 0;
+  double weighted_reward_sum = 0;
+  std::size_t matched = 0;
+  std::vector<double> weights, rewards;
+  weights.reserve(data.size());
+  rewards.reserve(data.size());
+  for (const auto& pt : data.points()) {
+    const double pi_a = policy.probability(pt.context, pt.action);
+    const double w = pi_a / pt.propensity;
+    if (pi_a > 0) ++matched;
+    weight_sum += w;
+    weighted_reward_sum += w * pt.reward;
+    weights.push_back(w);
+    rewards.push_back(pt.reward);
+  }
+  Estimate est;
+  est.n = data.size();
+  est.matched = matched;
+  if (weight_sum <= 0) {
+    // The candidate never overlaps the logged actions; SNIPS is undefined.
+    // Report the midpoint with a vacuous full-range interval.
+    const auto& rr = data.reward_range();
+    est.value = (rr.lo + rr.hi) / 2;
+    est.stderr_value = rr.width() / 2;
+    est.normal_ci = {rr.lo, rr.hi};
+    est.bernstein_ci = {rr.lo, rr.hi};
+    return est;
+  }
+  const double v = weighted_reward_sum / weight_sum;
+  est.value = v;
+  // Delta-method variance of the ratio estimator.
+  const double n = static_cast<double>(data.size());
+  const double wbar = weight_sum / n;
+  double var_acc = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double term = weights[i] * (rewards[i] - v) / wbar;
+    var_acc += term * term;
+  }
+  const double var = var_acc / std::max(n - 1, 1.0);
+  est.stderr_value = std::sqrt(var / n);
+  const double z = stats::normal_critical(delta);
+  est.normal_ci = {v - z * est.stderr_value, v + z * est.stderr_value};
+  est.bernstein_ci = stats::bernstein_interval(v, data.size(), delta, var,
+                                               data.reward_range().width());
+  return est;
+}
+
+}  // namespace harvest::core

@@ -1,0 +1,45 @@
+// Inverse propensity scoring (Horvitz–Thompson) and variants: the unbiased
+// workhorse of Eq. (ips) in §4, its variance-reducing clipped version, and
+// the self-normalized (SNIPS) estimator.
+#pragma once
+
+#include "core/estimators/estimator.h"
+
+namespace harvest::core {
+
+/// ips(pi) = 1/N * sum_t pi(a_t|x_t)/p_t * r_t.
+/// For deterministic pi this reduces to the paper's indicator form
+/// 1{pi(x_t)=a_t} r_t / p_t. Unbiased whenever every p_t > 0, but variance
+/// scales with 1/min_p.
+class IpsEstimator final : public OffPolicyEstimator {
+ public:
+  Estimate evaluate(const ExplorationDataset& data, const Policy& policy,
+                    double delta = 0.05) const override;
+  std::string name() const override { return "ips"; }
+};
+
+/// IPS with importance weights clipped at `max_weight`: trades a small bias
+/// for a large variance reduction when propensities are tiny.
+class ClippedIpsEstimator final : public OffPolicyEstimator {
+ public:
+  explicit ClippedIpsEstimator(double max_weight);
+
+  Estimate evaluate(const ExplorationDataset& data, const Policy& policy,
+                    double delta = 0.05) const override;
+  std::string name() const override;
+
+ private:
+  double max_weight_;
+};
+
+/// Self-normalized IPS: sum(w r) / sum(w). Biased but consistent; invariant
+/// to reward translation and bounded by the observed reward range, which
+/// makes it far more stable on small samples.
+class SnipsEstimator final : public OffPolicyEstimator {
+ public:
+  Estimate evaluate(const ExplorationDataset& data, const Policy& policy,
+                    double delta = 0.05) const override;
+  std::string name() const override { return "snips"; }
+};
+
+}  // namespace harvest::core

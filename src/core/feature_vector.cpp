@@ -1,0 +1,47 @@
+#include "core/feature_vector.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/linalg.h"
+
+namespace harvest::core {
+
+FeatureSchema::FeatureSchema(std::vector<std::string> names)
+    : names_(std::move(names)) {}
+
+const std::string& FeatureSchema::name(std::size_t i) const {
+  if (i >= names_.size()) throw std::out_of_range("FeatureSchema::name");
+  return names_[i];
+}
+
+std::size_t FeatureSchema::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return i;
+  }
+  throw std::out_of_range("FeatureSchema: no feature named " + name);
+}
+
+FeatureVector::FeatureVector(std::vector<double> values)
+    : values_(std::move(values)) {}
+
+FeatureVector::FeatureVector(std::initializer_list<double> values)
+    : values_(values) {}
+
+FeatureVector FeatureVector::with_bias() const {
+  std::vector<double> v;
+  v.reserve(values_.size() + 1);
+  v.push_back(1.0);
+  v.insert(v.end(), values_.begin(), values_.end());
+  return FeatureVector(std::move(v));
+}
+
+double FeatureVector::dot(std::span<const double> weights) const {
+  return core::dot(values_, weights);
+}
+
+double FeatureVector::norm() const {
+  return std::sqrt(core::dot(values_, values_));
+}
+
+}  // namespace harvest::core

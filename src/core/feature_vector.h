@@ -1,0 +1,57 @@
+// Dense feature vectors and their schema. Contexts scavenged from system logs
+// are feature-engineered into these before reaching the learners (step 1 of
+// the harvesting methodology).
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace harvest::core {
+
+/// Names and validates the feature layout shared by all contexts in a
+/// dataset. Feature 0 is conventionally a constant bias term added by
+/// `FeatureVector::with_bias`.
+class FeatureSchema {
+ public:
+  FeatureSchema() = default;
+  explicit FeatureSchema(std::vector<std::string> names);
+
+  std::size_t size() const { return names_.size(); }
+  const std::string& name(std::size_t i) const;
+  /// Index of a named feature; throws std::out_of_range if absent.
+  std::size_t index_of(const std::string& name) const;
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+/// A dense real-valued context. Cheap to copy for the dimensionalities used
+/// here; the simulators construct millions of these per run.
+class FeatureVector {
+ public:
+  FeatureVector() = default;
+  explicit FeatureVector(std::vector<double> values);
+  FeatureVector(std::initializer_list<double> values);
+
+  std::size_t size() const { return values_.size(); }
+  double operator[](std::size_t i) const { return values_[i]; }
+  double& operator[](std::size_t i) { return values_[i]; }
+  std::span<const double> values() const { return values_; }
+
+  /// Returns a copy with a leading constant-1 bias feature.
+  FeatureVector with_bias() const;
+
+  double dot(std::span<const double> weights) const;
+
+  /// L2 norm, used for normalization and tests.
+  double norm() const;
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace harvest::core

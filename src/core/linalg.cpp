@@ -1,0 +1,83 @@
+#include "core/linalg.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace harvest::core {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return data_[r * cols_ + c];
+}
+
+void Matrix::add_outer(std::span<const double> v, double scale) {
+  if (v.size() != rows_ || rows_ != cols_) {
+    throw std::invalid_argument("add_outer: dimension mismatch");
+  }
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double vi_s = v[i] * scale;
+    for (std::size_t j = 0; j < cols_; ++j) {
+      data_[i * cols_ + j] += vi_s * v[j];
+    }
+  }
+}
+
+std::vector<double> cholesky_solve(Matrix a, std::span<const double> b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) {
+    throw std::invalid_argument("cholesky_solve: dimension mismatch");
+  }
+  // In-place lower Cholesky: A = L L^T.
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a.at(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= a.at(j, k) * a.at(j, k);
+    if (diag <= 0) {
+      throw std::domain_error("cholesky_solve: matrix not positive definite");
+    }
+    const double ljj = std::sqrt(diag);
+    a.at(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double sum = a.at(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= a.at(i, k) * a.at(j, k);
+      a.at(i, j) = sum / ljj;
+    }
+  }
+  // Forward substitution: L y = b.
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= a.at(i, k) * y[k];
+    y[i] = sum / a.at(i, i);
+  }
+  // Back substitution: L^T x = y.
+  std::vector<double> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= a.at(k, i) * x[k];
+    x[i] = sum / a.at(i, i);
+  }
+  return x;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("dot: size mismatch");
+  double s = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace harvest::core

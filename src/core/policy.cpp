@@ -1,0 +1,37 @@
+#include "core/policy.h"
+
+#include <stdexcept>
+
+namespace harvest::core {
+
+ActionId Policy::act(const FeatureVector& x, util::Rng& rng) const {
+  const std::vector<double> dist = distribution(x);
+  return static_cast<ActionId>(rng.categorical(dist));
+}
+
+double Policy::probability(const FeatureVector& x, ActionId a) const {
+  if (a >= num_actions()) throw std::out_of_range("Policy::probability");
+  return distribution(x)[a];
+}
+
+std::vector<double> DeterministicPolicy::distribution(
+    const FeatureVector& x) const {
+  std::vector<double> dist(num_actions(), 0.0);
+  dist[choose(x)] = 1.0;
+  return dist;
+}
+
+ActionId DeterministicPolicy::act(const FeatureVector& x,
+                                  util::Rng& /*rng*/) const {
+  return choose(x);
+}
+
+double DeterministicPolicy::probability(const FeatureVector& x,
+                                        ActionId a) const {
+  if (a >= num_actions()) {
+    throw std::out_of_range("DeterministicPolicy::probability");
+  }
+  return choose(x) == a ? 1.0 : 0.0;
+}
+
+}  // namespace harvest::core

@@ -1,0 +1,70 @@
+#include "core/policy_class.h"
+
+#include <stdexcept>
+
+#include "core/policies/greedy.h"
+
+namespace harvest::core {
+
+StumpPolicyClass::StumpPolicyClass(std::size_t num_actions,
+                                   std::size_t num_features, double lo,
+                                   double hi, std::size_t grid_size)
+    : num_actions_(num_actions),
+      num_features_(num_features),
+      lo_(lo),
+      hi_(hi),
+      grid_size_(grid_size) {
+  if (num_actions == 0 || num_features == 0 || grid_size == 0) {
+    throw std::invalid_argument("StumpPolicyClass: empty dimensions");
+  }
+  if (!(hi > lo)) throw std::invalid_argument("StumpPolicyClass: hi <= lo");
+}
+
+std::size_t StumpPolicyClass::size() const {
+  return num_features_ * grid_size_ * num_actions_ * num_actions_;
+}
+
+PolicyPtr StumpPolicyClass::make(std::size_t i) const {
+  if (i >= size()) throw std::out_of_range("StumpPolicyClass::make");
+  const std::size_t actions2 = num_actions_ * num_actions_;
+  const std::size_t feature = i / (grid_size_ * actions2);
+  const std::size_t rem = i % (grid_size_ * actions2);
+  const std::size_t grid_idx = rem / actions2;
+  const std::size_t pair = rem % actions2;
+  const auto below = static_cast<ActionId>(pair / num_actions_);
+  const auto above = static_cast<ActionId>(pair % num_actions_);
+  const double threshold =
+      grid_size_ == 1
+          ? (lo_ + hi_) / 2
+          : lo_ + (hi_ - lo_) * static_cast<double>(grid_idx) /
+                      static_cast<double>(grid_size_ - 1);
+  return std::make_shared<ThresholdPolicy>(num_actions_, feature, threshold,
+                                           below, above);
+}
+
+ClassSearchResult search_policy_class(const PolicyClass& pi_class,
+                                      const ExplorationDataset& data,
+                                      const OffPolicyEstimator& estimator,
+                                      double delta) {
+  if (pi_class.size() == 0) {
+    throw std::invalid_argument("search_policy_class: empty class");
+  }
+  ClassSearchResult result;
+  bool first = true;
+  for (std::size_t i = 0; i < pi_class.size(); ++i) {
+    const PolicyPtr policy = pi_class.make(i);
+    const Estimate est = estimator.evaluate(data, *policy, delta);
+    if (first || est.value > result.best_estimate.value) {
+      result.best_index = i;
+      result.best_policy = policy;
+      result.best_estimate = est;
+    }
+    if (first || est.value < result.worst_value) {
+      result.worst_value = est.value;
+    }
+    first = false;
+  }
+  return result;
+}
+
+}  // namespace harvest::core

@@ -1,0 +1,64 @@
+// Enumerable policy classes Π: the "tunable templates" of §4 that off-policy
+// evaluation optimizes over ("e.g., billions" — here: stump grids). Used for
+// simultaneous-evaluation experiments (Fig. 2's K = |Π|) and for best-in-class
+// search.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "core/dataset.h"
+#include "core/estimators/estimator.h"
+#include "core/policy.h"
+
+namespace harvest::core {
+
+/// A finite, indexable family of policies.
+class PolicyClass {
+ public:
+  virtual ~PolicyClass() = default;
+
+  virtual std::size_t size() const = 0;
+  /// Materializes member `i`; i < size().
+  virtual PolicyPtr make(std::size_t i) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// All single-feature threshold stumps over a grid:
+/// for each feature f, threshold t in a per-feature grid, and ordered action
+/// pair (below, above). Size = |features| * |grid| * |A|^2.
+class StumpPolicyClass final : public PolicyClass {
+ public:
+  /// Thresholds are laid on a uniform grid of `grid_size` points spanning
+  /// [lo, hi] per feature (same span for all features for simplicity).
+  StumpPolicyClass(std::size_t num_actions, std::size_t num_features,
+                   double lo, double hi, std::size_t grid_size);
+
+  std::size_t size() const override;
+  PolicyPtr make(std::size_t i) const override;
+  std::string name() const override { return "stump-grid"; }
+
+ private:
+  std::size_t num_actions_;
+  std::size_t num_features_;
+  double lo_, hi_;
+  std::size_t grid_size_;
+};
+
+/// Result of searching a class for the best member by off-policy estimate.
+struct ClassSearchResult {
+  std::size_t best_index = 0;
+  PolicyPtr best_policy;
+  Estimate best_estimate;
+  double worst_value = 0;  ///< lowest estimate seen (for spread reporting)
+};
+
+/// Evaluates every member of `pi_class` on `data` with `estimator` and
+/// returns the argmax. O(|Π| * N); fine for the class sizes in the benches.
+ClassSearchResult search_policy_class(const PolicyClass& pi_class,
+                                      const ExplorationDataset& data,
+                                      const OffPolicyEstimator& estimator,
+                                      double delta = 0.05);
+
+}  // namespace harvest::core

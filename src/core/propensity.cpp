@@ -1,0 +1,100 @@
+#include "core/propensity.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/hash.h"
+
+namespace harvest::core {
+
+KnownPropensity::KnownPropensity(std::vector<double> distribution)
+    : distribution_(std::move(distribution)) {
+  if (distribution_.empty()) {
+    throw std::invalid_argument("KnownPropensity: empty distribution");
+  }
+  double total = 0;
+  for (double p : distribution_) {
+    if (p < 0) throw std::invalid_argument("KnownPropensity: negative prob");
+    total += p;
+  }
+  if (std::abs(total - 1.0) > 1e-6) {
+    throw std::invalid_argument("KnownPropensity: must sum to 1");
+  }
+}
+
+double KnownPropensity::propensity(const FeatureVector& /*x*/,
+                                   ActionId a) const {
+  if (a >= distribution_.size()) {
+    throw std::out_of_range("KnownPropensity::propensity");
+  }
+  return distribution_[a];
+}
+
+EmpiricalPropensityModel::EmpiricalPropensityModel(
+    std::size_t num_actions, std::vector<std::size_t> bucket_features,
+    std::size_t num_buckets, double smoothing)
+    : num_actions_(num_actions),
+      bucket_features_(std::move(bucket_features)),
+      num_buckets_(bucket_features_.empty() ? 1 : num_buckets),
+      smoothing_(smoothing),
+      counts_(num_buckets_, std::vector<double>(num_actions, 0.0)) {
+  if (num_actions == 0) {
+    throw std::invalid_argument("EmpiricalPropensityModel: no actions");
+  }
+  if (smoothing <= 0) {
+    throw std::invalid_argument(
+        "EmpiricalPropensityModel: smoothing must be > 0 (propensities must "
+        "stay positive)");
+  }
+}
+
+std::size_t EmpiricalPropensityModel::bucket_of(const FeatureVector& x) const {
+  if (bucket_features_.empty()) return 0;
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (std::size_t f : bucket_features_) {
+    if (f >= x.size()) {
+      throw std::out_of_range("EmpiricalPropensityModel: feature index");
+    }
+    // Quantize to make hashing of near-equal floats stable.
+    const auto q = static_cast<std::int64_t>(std::llround(x[f] * 1024.0));
+    h = util::hash_combine(h, util::fnv1a64(static_cast<std::uint64_t>(q)));
+  }
+  return static_cast<std::size_t>(h % num_buckets_);
+}
+
+void EmpiricalPropensityModel::observe(const FeatureVector& x, ActionId a) {
+  if (a >= num_actions_) {
+    throw std::out_of_range("EmpiricalPropensityModel::observe");
+  }
+  counts_[bucket_of(x)][a] += 1.0;
+}
+
+void EmpiricalPropensityModel::fit(const ExplorationDataset& data) {
+  for (const auto& pt : data.points()) observe(pt.context, pt.action);
+}
+
+double EmpiricalPropensityModel::propensity(const FeatureVector& x,
+                                            ActionId a) const {
+  if (a >= num_actions_) {
+    throw std::out_of_range("EmpiricalPropensityModel::propensity");
+  }
+  const auto& bucket = counts_[bucket_of(x)];
+  double total = 0;
+  for (double c : bucket) total += c;
+  return (bucket[a] + smoothing_) /
+         (total + smoothing_ * static_cast<double>(num_actions_));
+}
+
+ExplorationDataset annotate_propensities(const ExplorationDataset& data,
+                                         const PropensityModel& model) {
+  ExplorationDataset out(data.num_actions(), data.reward_range());
+  out.reserve(data.size());
+  for (const auto& pt : data.points()) {
+    ExplorationPoint np = pt;
+    np.propensity = model.propensity(pt.context, pt.action);
+    out.add(std::move(np));
+  }
+  return out;
+}
+
+}  // namespace harvest::core

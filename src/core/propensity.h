@@ -1,0 +1,78 @@
+// Step 2 of the harvesting methodology: inferring the probability p with
+// which the logged system chose each action. When the logging code is
+// inspectable (Redis random eviction, Nginx random routing) the propensity is
+// known exactly; otherwise it is regressed from the scavenged ⟨x, a⟩ pairs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/types.h"
+
+namespace harvest::core {
+
+/// Estimates the logging policy's conditional action distribution.
+class PropensityModel {
+ public:
+  virtual ~PropensityModel() = default;
+
+  /// p̂(a | x) for the logging policy.
+  virtual double propensity(const FeatureVector& x, ActionId a) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Code-inspection case: the logging distribution is context-independent and
+/// known (e.g. uniform over |A| from `rand() % n` in the source).
+class KnownPropensity final : public PropensityModel {
+ public:
+  explicit KnownPropensity(std::vector<double> distribution);
+
+  double propensity(const FeatureVector& x, ActionId a) const override;
+  std::string name() const override { return "known"; }
+
+ private:
+  std::vector<double> distribution_;
+};
+
+/// Regression case: buckets contexts by hashing a subset of features, then
+/// uses Laplace-smoothed empirical action frequencies per bucket. With zero
+/// hashed features this degenerates to the global marginal action frequency
+/// — the right model whenever the logging policy ignored the context
+/// ("action choices independent of the context", §2).
+class EmpiricalPropensityModel final : public PropensityModel {
+ public:
+  /// `bucket_features`: indices of context features that the logging policy
+  /// may have conditioned on (empty = context-free logging policy).
+  /// `smoothing`: Laplace pseudo-count per action.
+  EmpiricalPropensityModel(std::size_t num_actions,
+                           std::vector<std::size_t> bucket_features,
+                           std::size_t num_buckets = 64,
+                           double smoothing = 1.0);
+
+  /// Accumulates one logged decision.
+  void observe(const FeatureVector& x, ActionId a);
+
+  /// Fits from a whole dataset (ignores stored propensities).
+  void fit(const ExplorationDataset& data);
+
+  double propensity(const FeatureVector& x, ActionId a) const override;
+  std::string name() const override { return "empirical"; }
+
+ private:
+  std::size_t bucket_of(const FeatureVector& x) const;
+
+  std::size_t num_actions_;
+  std::vector<std::size_t> bucket_features_;
+  std::size_t num_buckets_;
+  double smoothing_;
+  std::vector<std::vector<double>> counts_;  // [bucket][action]
+};
+
+/// Rewrites every point's propensity using `model` — turning scavenged
+/// ⟨x, a, r⟩ logs into full ⟨x, a, r, p⟩ exploration data.
+ExplorationDataset annotate_propensities(const ExplorationDataset& data,
+                                         const PropensityModel& model);
+
+}  // namespace harvest::core

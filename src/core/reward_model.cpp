@@ -1,0 +1,150 @@
+#include "core/reward_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace harvest::core {
+
+RidgeRewardModel::RidgeRewardModel(std::size_t num_actions, std::size_t dim,
+                                   double lambda)
+    : dim_with_bias_(dim + 1), lambda_(lambda), per_action_(num_actions) {
+  if (num_actions == 0) {
+    throw std::invalid_argument("RidgeRewardModel: num_actions == 0");
+  }
+  if (lambda <= 0) {
+    throw std::invalid_argument("RidgeRewardModel: lambda must be > 0");
+  }
+  for (auto& pa : per_action_) {
+    pa.xtx = Matrix(dim_with_bias_, dim_with_bias_);
+    for (std::size_t i = 0; i < dim_with_bias_; ++i) {
+      pa.xtx.at(i, i) = lambda_;
+    }
+    pa.xty.assign(dim_with_bias_, 0.0);
+  }
+}
+
+void RidgeRewardModel::observe(const FeatureVector& x, ActionId a,
+                               double reward, double weight) {
+  if (a >= per_action_.size()) {
+    throw std::out_of_range("RidgeRewardModel::observe: bad action");
+  }
+  if (x.size() + 1 != dim_with_bias_) {
+    throw std::invalid_argument("RidgeRewardModel::observe: bad dimension");
+  }
+  const FeatureVector xb = x.with_bias();
+  auto& pa = per_action_[a];
+  pa.xtx.add_outer(xb.values(), weight);
+  for (std::size_t i = 0; i < dim_with_bias_; ++i) {
+    pa.xty[i] += weight * reward * xb[i];
+  }
+  pa.total_weight += weight;
+  pa.fitted = false;
+}
+
+void RidgeRewardModel::fit() {
+  for (auto& pa : per_action_) {
+    pa.coef = cholesky_solve(pa.xtx, pa.xty);
+    pa.fitted = true;
+  }
+}
+
+double RidgeRewardModel::predict(const FeatureVector& x, ActionId a) const {
+  if (a >= per_action_.size()) {
+    throw std::out_of_range("RidgeRewardModel::predict: bad action");
+  }
+  const auto& pa = per_action_[a];
+  if (!pa.fitted) {
+    throw std::logic_error("RidgeRewardModel::predict before fit()");
+  }
+  return x.with_bias().dot(pa.coef);
+}
+
+const std::vector<double>& RidgeRewardModel::weights(ActionId a) const {
+  if (a >= per_action_.size() || !per_action_[a].fitted) {
+    throw std::logic_error("RidgeRewardModel::weights: not fitted");
+  }
+  return per_action_[a].coef;
+}
+
+double RidgeRewardModel::observation_weight(ActionId a) const {
+  if (a >= per_action_.size()) {
+    throw std::out_of_range("RidgeRewardModel::observation_weight");
+  }
+  return per_action_[a].total_weight;
+}
+
+SgdRewardModel::SgdRewardModel(std::size_t num_actions, std::size_t dim,
+                               double learning_rate, double l2)
+    : learning_rate_(learning_rate),
+      l2_(l2),
+      weights_(num_actions, std::vector<double>(dim + 1, 0.0)),
+      updates_(num_actions, 0) {
+  if (num_actions == 0) {
+    throw std::invalid_argument("SgdRewardModel: num_actions == 0");
+  }
+  if (learning_rate <= 0) {
+    throw std::invalid_argument("SgdRewardModel: learning_rate > 0");
+  }
+}
+
+void SgdRewardModel::update(const FeatureVector& x, ActionId a, double reward,
+                            double weight) {
+  if (a >= weights_.size()) {
+    throw std::out_of_range("SgdRewardModel::update: bad action");
+  }
+  auto& w = weights_[a];
+  const FeatureVector xb = x.with_bias();
+  if (xb.size() != w.size()) {
+    throw std::invalid_argument("SgdRewardModel::update: bad dimension");
+  }
+  // Normalized LMS with a decaying rate: dividing by ||x||^2 makes the
+  // step scale-invariant (health contexts mix 0/1 flags with counts up to
+  // 20), and the sqrt decay keeps the iterate stable under importance
+  // weights.
+  double norm2 = 0;
+  for (std::size_t i = 0; i < xb.size(); ++i) norm2 += xb[i] * xb[i];
+  const double step =
+      learning_rate_ /
+      (norm2 * std::sqrt(1.0 + static_cast<double>(updates_[a]) / 100.0));
+  const double err = xb.dot(w) - reward;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] -= step * weight * (err * xb[i] + l2_ * w[i]);
+  }
+  ++updates_[a];
+}
+
+double SgdRewardModel::predict(const FeatureVector& x, ActionId a) const {
+  if (a >= weights_.size()) {
+    throw std::out_of_range("SgdRewardModel::predict: bad action");
+  }
+  return x.with_bias().dot(weights_[a]);
+}
+
+RidgeRewardModel fit_ridge(const ExplorationDataset& data, double lambda,
+                           bool importance_weighted) {
+  if (data.empty()) throw std::invalid_argument("fit_ridge: empty data");
+  const std::size_t dim = data[0].context.size();
+  RidgeRewardModel model(data.num_actions(), dim, lambda);
+  for (const auto& pt : data.points()) {
+    const double w = importance_weighted ? 1.0 / pt.propensity : 1.0;
+    model.observe(pt.context, pt.action, pt.reward, w);
+  }
+  model.fit();
+  return model;
+}
+
+RidgeRewardModel fit_ridge_full(const FullFeedbackDataset& data,
+                                double lambda) {
+  if (data.empty()) throw std::invalid_argument("fit_ridge_full: empty data");
+  const std::size_t dim = data[0].context.size();
+  RidgeRewardModel model(data.num_actions(), dim, lambda);
+  for (const auto& pt : data.points()) {
+    for (std::size_t a = 0; a < data.num_actions(); ++a) {
+      model.observe(pt.context, static_cast<ActionId>(a), pt.rewards[a]);
+    }
+  }
+  model.fit();
+  return model;
+}
+
+}  // namespace harvest::core

@@ -1,0 +1,100 @@
+// Reward models: r̂(x, a) regressors. They power the Direct Method and
+// Doubly Robust estimators and the greedy learned policies ("the CB algorithm
+// learns a good estimator of each server's latency", §5).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/linalg.h"
+#include "core/types.h"
+
+namespace harvest::core {
+
+/// Predicts the expected reward of playing action `a` in context `x`.
+class RewardModel {
+ public:
+  virtual ~RewardModel() = default;
+  virtual double predict(const FeatureVector& x, ActionId a) const = 0;
+  virtual std::size_t num_actions() const = 0;
+  virtual std::string name() const = 0;
+};
+
+using RewardModelPtr = std::shared_ptr<const RewardModel>;
+
+/// One ridge regression per action on bias-augmented features, fit with
+/// per-sample weights (importance weights when training from exploration
+/// data). Closed-form normal equations solved by Cholesky.
+class RidgeRewardModel final : public RewardModel {
+ public:
+  /// `dim` is the raw context dimension (a bias feature is added inside).
+  RidgeRewardModel(std::size_t num_actions, std::size_t dim, double lambda);
+
+  /// Adds one weighted observation of (x, a) -> reward.
+  void observe(const FeatureVector& x, ActionId a, double reward,
+               double weight = 1.0);
+
+  /// Solves the normal equations; call after all observations (idempotent —
+  /// re-fitting after more observations is allowed).
+  void fit();
+
+  double predict(const FeatureVector& x, ActionId a) const override;
+  std::size_t num_actions() const override { return per_action_.size(); }
+  std::string name() const override { return "ridge"; }
+
+  /// Fitted coefficients for one action (bias first); for tests/inspection.
+  const std::vector<double>& weights(ActionId a) const;
+
+  /// Number of (weighted) observations seen for an action.
+  double observation_weight(ActionId a) const;
+
+ private:
+  struct PerAction {
+    Matrix xtx;                    // X^T W X + lambda I accumulator
+    std::vector<double> xty;       // X^T W y accumulator
+    std::vector<double> coef;      // solved weights
+    double total_weight = 0;
+    bool fitted = false;
+  };
+
+  std::size_t dim_with_bias_;
+  double lambda_;
+  std::vector<PerAction> per_action_;
+};
+
+/// Online per-action linear model trained by weighted SGD; used by the
+/// epoch-greedy online learner where refitting normal equations per step
+/// would be wasteful.
+class SgdRewardModel final : public RewardModel {
+ public:
+  SgdRewardModel(std::size_t num_actions, std::size_t dim,
+                 double learning_rate, double l2 = 0.0);
+
+  /// One gradient step on squared error, scaled by `weight`.
+  void update(const FeatureVector& x, ActionId a, double reward,
+              double weight = 1.0);
+
+  double predict(const FeatureVector& x, ActionId a) const override;
+  std::size_t num_actions() const override { return weights_.size(); }
+  std::string name() const override { return "sgd-linear"; }
+
+ private:
+  double learning_rate_;
+  double l2_;
+  std::vector<std::vector<double>> weights_;  // [action][dim+1], bias first
+  std::vector<std::size_t> updates_;          // per-action step counts
+};
+
+/// Fits a ridge model from exploration data with optional importance
+/// weighting (weight 1/p corrects the logging policy's action skew).
+RidgeRewardModel fit_ridge(const ExplorationDataset& data, double lambda,
+                           bool importance_weighted);
+
+/// Fits a ridge model from full-feedback data (every action of every context
+/// contributes one sample) — the supervised skyline of Fig. 4.
+RidgeRewardModel fit_ridge_full(const FullFeedbackDataset& data,
+                                double lambda);
+
+}  // namespace harvest::core

@@ -1,0 +1,52 @@
+#include "core/safe_improvement.h"
+
+#include <stdexcept>
+
+namespace harvest::core {
+
+SafetyVerdict safe_improvement(const ExplorationDataset& data,
+                               const Policy& candidate,
+                               const OffPolicyEstimator& estimator,
+                               double baseline_value, SafetyConfig config) {
+  if (config.delta <= 0 || config.delta >= 1) {
+    throw std::invalid_argument("safe_improvement: delta in (0,1)");
+  }
+  if (config.required_improvement < 0) {
+    throw std::invalid_argument(
+        "safe_improvement: required_improvement >= 0");
+  }
+  SafetyVerdict verdict;
+  verdict.policy_name = candidate.name();
+  verdict.estimate = estimator.evaluate(data, candidate, config.delta);
+  verdict.baseline_value = baseline_value;
+  const double lower = config.finite_sample
+                           ? verdict.estimate.bernstein_ci.lo
+                           : verdict.estimate.normal_ci.lo;
+  verdict.margin = lower - baseline_value - config.required_improvement;
+  verdict.deployable = verdict.margin > 0;
+  return verdict;
+}
+
+std::vector<SafetyVerdict> safe_improvement_sweep(
+    const ExplorationDataset& data, const std::vector<PolicyPtr>& candidates,
+    const OffPolicyEstimator& estimator, SafetyConfig config) {
+  if (data.empty()) {
+    throw std::invalid_argument("safe_improvement_sweep: empty data");
+  }
+  double baseline = 0;
+  for (const auto& pt : data.points()) baseline += pt.reward;
+  baseline /= static_cast<double>(data.size());
+
+  std::vector<SafetyVerdict> verdicts;
+  verdicts.reserve(candidates.size());
+  for (const auto& candidate : candidates) {
+    if (!candidate) {
+      throw std::invalid_argument("safe_improvement_sweep: null candidate");
+    }
+    verdicts.push_back(
+        safe_improvement(data, *candidate, estimator, baseline, config));
+  }
+  return verdicts;
+}
+
+}  // namespace harvest::core

@@ -1,0 +1,64 @@
+#include "core/trajectory.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace harvest::core {
+
+double Trajectory::mean_reward() const {
+  if (steps.empty()) return 0.0;
+  double sum = 0;
+  for (const auto& step : steps) sum += step.reward;
+  return sum / static_cast<double>(steps.size());
+}
+
+TrajectoryDataset::TrajectoryDataset(std::size_t num_actions,
+                                     RewardRange range)
+    : num_actions_(num_actions), range_(range) {
+  if (num_actions == 0) {
+    throw std::invalid_argument("TrajectoryDataset: num_actions == 0");
+  }
+}
+
+void TrajectoryDataset::add(Trajectory trajectory) {
+  if (trajectory.steps.empty()) {
+    throw std::invalid_argument("TrajectoryDataset::add: empty trajectory");
+  }
+  for (const auto& step : trajectory.steps) {
+    if (step.action >= num_actions_) {
+      throw std::invalid_argument("TrajectoryDataset::add: bad action id");
+    }
+    if (step.propensity <= 0.0 || step.propensity > 1.0) {
+      throw std::invalid_argument(
+          "TrajectoryDataset::add: propensity must be in (0, 1]");
+    }
+  }
+  trajectories_.push_back(std::move(trajectory));
+}
+
+std::size_t TrajectoryDataset::max_horizon() const {
+  std::size_t h = 0;
+  for (const auto& t : trajectories_) h = std::max(h, t.horizon());
+  return h;
+}
+
+TrajectoryDataset chop_into_trajectories(const ExplorationDataset& data,
+                                         std::size_t horizon) {
+  if (horizon == 0) {
+    throw std::invalid_argument("chop_into_trajectories: horizon >= 1");
+  }
+  TrajectoryDataset out(data.num_actions(), data.reward_range());
+  Trajectory current;
+  current.steps.reserve(horizon);
+  for (const auto& pt : data.points()) {
+    current.steps.push_back(pt);
+    if (current.steps.size() == horizon) {
+      out.add(std::move(current));
+      current = Trajectory{};
+      current.steps.reserve(horizon);
+    }
+  }
+  return out;  // partial tail intentionally dropped
+}
+
+}  // namespace harvest::core

@@ -1,0 +1,66 @@
+// Trajectory (sequence) data for long-horizon off-policy evaluation — the
+// research direction §5 lays out: "estimators that account for long-term
+// effects ... reweigh the data based on the probability of matching
+// *sequences* of actions rather than single actions."
+//
+// A trajectory is a run of consecutive decisions from one logged episode;
+// its contexts may depend on the episode's earlier actions (exactly the A1
+// violation that breaks per-decision IPS in closed-loop systems).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/types.h"
+
+namespace harvest::core {
+
+/// One step of a logged episode: same fields as an ExplorationPoint.
+using TrajectoryStep = ExplorationPoint;
+
+/// A finite-horizon episode.
+struct Trajectory {
+  std::vector<TrajectoryStep> steps;
+
+  std::size_t horizon() const { return steps.size(); }
+  /// Undiscounted mean per-step reward of the logged episode.
+  double mean_reward() const;
+};
+
+/// A bag of logged trajectories over a fixed action set.
+class TrajectoryDataset {
+ public:
+  TrajectoryDataset(std::size_t num_actions, RewardRange range);
+
+  /// Adds one trajectory; every step is validated like ExplorationDataset.
+  void add(Trajectory trajectory);
+
+  std::size_t size() const { return trajectories_.size(); }
+  bool empty() const { return trajectories_.empty(); }
+  std::size_t num_actions() const { return num_actions_; }
+  const RewardRange& reward_range() const { return range_; }
+  const Trajectory& operator[](std::size_t i) const {
+    return trajectories_[i];
+  }
+  const std::vector<Trajectory>& trajectories() const {
+    return trajectories_;
+  }
+
+  /// Longest horizon present.
+  std::size_t max_horizon() const;
+
+ private:
+  std::size_t num_actions_;
+  RewardRange range_;
+  std::vector<Trajectory> trajectories_;
+};
+
+/// Chops a time-ordered exploration dataset into consecutive fixed-horizon
+/// trajectories (the tail shorter than `horizon` is dropped). This is how
+/// a request-ordered system log becomes sequence data: within a window, the
+/// logged contexts embed the feedback of the window's earlier actions.
+TrajectoryDataset chop_into_trajectories(const ExplorationDataset& data,
+                                         std::size_t horizon);
+
+}  // namespace harvest::core

@@ -1,0 +1,47 @@
+// Core vocabulary types of the contextual-bandit framework (§2 of the paper):
+// the ⟨x, a, r, p⟩ exploration tuple and reward conventions.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "core/feature_vector.h"
+
+namespace harvest::core {
+
+/// Index into a fixed, finite action set A = {0, ..., num_actions-1}.
+using ActionId = std::uint32_t;
+
+constexpr ActionId kInvalidAction = std::numeric_limits<ActionId>::max();
+
+/// Rewards are always *maximized* internally. Scenarios with costs
+/// (latency, downtime) negate/rescale into this convention via RewardRange.
+struct RewardRange {
+  double lo = 0.0;
+  double hi = 1.0;
+  double width() const { return hi - lo; }
+  /// Clamp-free affine map of `x` in [lo, hi] onto [0, 1].
+  double normalize(double x) const { return (x - lo) / width(); }
+};
+
+/// One harvested interaction: the context observed, the action the logged
+/// (randomized) policy took, the reward obtained, and the probability with
+/// which that action was chosen. This is the unit of exploration data that
+/// step 1 + step 2 of the methodology extract from system logs.
+struct ExplorationPoint {
+  FeatureVector context;
+  ActionId action = kInvalidAction;
+  double reward = 0.0;
+  double propensity = 0.0;
+};
+
+/// One supervised interaction: the reward of *every* action is known. The
+/// machine-health scenario has this form (the default wait-max policy
+/// reveals all shorter waits), enabling ground truth and simulated
+/// exploration.
+struct FullFeedbackPoint {
+  FeatureVector context;
+  std::vector<double> rewards;  // indexed by ActionId
+};
+
+}  // namespace harvest::core

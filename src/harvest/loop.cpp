@@ -1,0 +1,71 @@
+#include "harvest/loop.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "core/policies/basic.h"
+
+namespace harvest::pipeline {
+
+LoopResult run_continuous_loop(const LoopConfig& config,
+                               core::PolicyPtr initial, DeployFn deploy,
+                               util::Rng& rng) {
+  if (!initial) {
+    throw std::invalid_argument("run_continuous_loop: null initial policy");
+  }
+  if (!deploy) {
+    throw std::invalid_argument("run_continuous_loop: null deploy function");
+  }
+  if (config.iterations == 0) {
+    throw std::invalid_argument("run_continuous_loop: zero iterations");
+  }
+  if (config.exploration_epsilon <= 0 || config.exploration_epsilon > 1) {
+    throw std::invalid_argument(
+        "run_continuous_loop: exploration_epsilon in (0, 1]");
+  }
+
+  LoopResult result;
+  core::PolicyPtr current = std::move(initial);
+  std::vector<core::ExplorationDataset> history;
+
+  for (std::size_t it = 0; it < config.iterations; ++it) {
+    // Deploy with an exploration floor (except when the current policy is
+    // already fully randomized, wrapping is still harmless).
+    core::PolicyPtr deployed = std::make_shared<core::EpsilonGreedyPolicy>(
+        current, config.exploration_epsilon);
+    core::ExplorationDataset harvested = deploy(deployed, it, rng);
+    if (harvested.empty()) {
+      throw std::runtime_error(
+          "run_continuous_loop: deployment harvested no data");
+    }
+
+    LoopRound round;
+    round.iteration = it;
+    round.harvested = harvested.size();
+    double reward_sum = 0;
+    for (const auto& pt : harvested.points()) reward_sum += pt.reward;
+    round.mean_reward = reward_sum / static_cast<double>(harvested.size());
+    round.deployed = deployed;
+    result.rounds.push_back(round);
+
+    history.push_back(std::move(harvested));
+    if (config.window > 0 && history.size() > config.window) {
+      history.erase(history.begin());
+    }
+
+    // Retrain on the (windowed) harvested history.
+    core::ExplorationDataset training(history.front().num_actions(),
+                                      history.front().reward_range());
+    std::size_t total = 0;
+    for (const auto& h : history) total += h.size();
+    training.reserve(total);
+    for (const auto& h : history) {
+      for (const auto& pt : h.points()) training.add(pt);
+    }
+    current = core::train_cb_policy(training, config.train);
+  }
+  result.final_policy = current;
+  return result;
+}
+
+}  // namespace harvest::pipeline

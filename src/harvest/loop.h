@@ -1,0 +1,56 @@
+// Continuous optimization (§3: "we may want to repeat steps 1-3 to
+// continuously optimize the system"; §5: incremental re-learning addresses
+// A2 violations when the workload or environment drifts). Frameworks like
+// the Decision Service productize this loop; here it is a small, testable
+// driver: deploy the current policy with an exploration floor, harvest the
+// logged randomness, retrain, repeat.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/policy.h"
+#include "core/train/trainer.h"
+#include "util/rng.h"
+
+namespace harvest::pipeline {
+
+/// One deployment round: run `policy` against the live system and return
+/// the harvested exploration data. The environment may drift between calls
+/// (that is the point). `iteration` lets simulated environments drift
+/// deterministically.
+using DeployFn = std::function<core::ExplorationDataset(
+    const core::PolicyPtr& policy, std::size_t iteration, util::Rng& rng)>;
+
+struct LoopConfig {
+  std::size_t iterations = 5;
+  /// Exploration floor mixed into every deployed policy, so each round's
+  /// logs stay harvestable (propensities bounded away from 0).
+  double exploration_epsilon = 0.1;
+  /// Retrain on the last `window` rounds only (0 = all history). A finite
+  /// window is how the loop forgets stale pre-drift data.
+  std::size_t window = 0;
+  core::TrainConfig train;
+};
+
+struct LoopRound {
+  std::size_t iteration = 0;
+  double mean_reward = 0;       ///< realized mean reward of this deployment
+  std::size_t harvested = 0;    ///< exploration points collected
+  core::PolicyPtr deployed;     ///< the (randomized) policy that ran
+};
+
+struct LoopResult {
+  std::vector<LoopRound> rounds;
+  core::PolicyPtr final_policy;  ///< last retrained greedy policy
+};
+
+/// Runs the deploy -> harvest -> retrain loop. The first round deploys
+/// `initial` (typically uniform random — the pre-existing heuristic whose
+/// randomness we harvest). Throws if a round harvests nothing.
+LoopResult run_continuous_loop(const LoopConfig& config,
+                               core::PolicyPtr initial, DeployFn deploy,
+                               util::Rng& rng);
+
+}  // namespace harvest::pipeline

@@ -1,0 +1,77 @@
+#include "harvest/pipeline.h"
+
+#include <stdexcept>
+
+namespace harvest::pipeline {
+
+namespace {
+
+core::ExplorationDataset scavenge_and_infer(const logs::LogStore& log,
+                                            const PipelineConfig& config,
+                                            HarvestReport& report) {
+  // Step 1: scavenge.
+  logs::ScavengeResult scavenged = logs::scavenge(log, config.spec);
+  report.records_seen = scavenged.records_seen;
+  report.decisions_harvested = scavenged.data.size();
+  report.decisions_dropped =
+      scavenged.dropped_missing_fields + scavenged.dropped_bad_action;
+
+  // Step 2: infer propensities if the log did not carry them.
+  core::ExplorationDataset data = std::move(scavenged.data);
+  if (config.inference) {
+    config.inference->fit(data);
+    data = core::annotate_propensities(data, *config.inference);
+  }
+  report.min_propensity = data.min_propensity();
+  return data;
+}
+
+}  // namespace
+
+HarvestReport evaluate_candidates(
+    const logs::LogStore& log, const PipelineConfig& config,
+    const std::vector<core::PolicyPtr>& candidates,
+    core::ExplorationDataset* harvested_out) {
+  if (!config.estimator) {
+    throw std::invalid_argument("evaluate_candidates: estimator required");
+  }
+  HarvestReport report;
+  core::ExplorationDataset data = scavenge_and_infer(log, config, report);
+  if (data.empty()) {
+    throw std::runtime_error(
+        "evaluate_candidates: no exploration data harvested");
+  }
+
+  // Step 3: evaluate all candidates offline.
+  for (const auto& policy : candidates) {
+    if (!policy) throw std::invalid_argument("null candidate policy");
+    report.candidates.push_back(CandidateReport{
+        policy->name(), config.estimator->evaluate(data, *policy,
+                                                   config.delta)});
+  }
+  if (report.min_propensity > 0 && !candidates.empty()) {
+    report.eq1_width = core::cb_ci_width(
+        static_cast<double>(data.size()),
+        static_cast<double>(candidates.size()), report.min_propensity,
+        config.bound_params);
+    report.max_class_size = core::max_policy_class_size(
+        static_cast<double>(data.size()), report.min_propensity, 0.05,
+        config.bound_params);
+  }
+  if (harvested_out != nullptr) *harvested_out = std::move(data);
+  return report;
+}
+
+core::PolicyPtr optimize_policy(const logs::LogStore& log,
+                                const PipelineConfig& config,
+                                core::TrainConfig train_config) {
+  HarvestReport report;
+  const core::ExplorationDataset data =
+      scavenge_and_infer(log, config, report);
+  if (data.empty()) {
+    throw std::runtime_error("optimize_policy: no exploration data harvested");
+  }
+  return core::train_cb_policy(data, train_config);
+}
+
+}  // namespace harvest::pipeline

@@ -1,0 +1,72 @@
+// The harvesting methodology of §3 as one reusable pipeline:
+//   (1) Scavenge  — extract ⟨x, a, r⟩ from an existing system's log.
+//   (2) Infer     — attach propensities p (code inspection or regression).
+//   (3) Evaluate / optimize — off-policy estimates for candidate policies,
+//                   and CB policy optimization over the same data.
+// Nothing here touches the live system: the input is text logs only.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/bounds.h"
+#include "core/estimators/estimator.h"
+#include "core/policy.h"
+#include "core/propensity.h"
+#include "core/train/trainer.h"
+#include "logs/scavenger.h"
+
+namespace harvest::pipeline {
+
+/// One candidate policy's offline verdict.
+struct CandidateReport {
+  std::string policy_name;
+  core::Estimate estimate;
+};
+
+/// Everything the pipeline learned from one log.
+struct HarvestReport {
+  // Step 1 data quality.
+  std::size_t records_seen = 0;
+  std::size_t decisions_harvested = 0;
+  std::size_t decisions_dropped = 0;
+  // Step 2.
+  double min_propensity = 0;  ///< the ε of Eq. 1 realized in this data
+  // Step 3.
+  std::vector<CandidateReport> candidates;
+  /// Theoretical Eq. 1 width for simultaneously trusting all candidate
+  /// estimates at the pipeline's delta.
+  double eq1_width = 0;
+  /// Wasted-potential measure: largest policy class this log could have
+  /// evaluated to 0.05 accuracy.
+  double max_class_size = 0;
+};
+
+/// Pipeline configuration: what to scavenge, how to infer propensities, and
+/// how to estimate.
+struct PipelineConfig {
+  logs::ScavengeSpec spec;
+  /// If set, step 2 re-annotates propensities with this model (fitted on
+  /// the scavenged data). If null, propensities logged/declared in the spec
+  /// are trusted (code-inspection case).
+  std::shared_ptr<core::EmpiricalPropensityModel> inference;
+  std::shared_ptr<const core::OffPolicyEstimator> estimator;
+  double delta = 0.05;
+  core::BoundParams bound_params;
+};
+
+/// Runs steps 1-3 for evaluation: scavenges `log`, infers propensities, and
+/// evaluates every candidate. Also returns the harvested dataset for reuse.
+HarvestReport evaluate_candidates(
+    const logs::LogStore& log, const PipelineConfig& config,
+    const std::vector<core::PolicyPtr>& candidates,
+    core::ExplorationDataset* harvested_out = nullptr);
+
+/// Runs steps 1-3 for optimization: scavenges, infers, and trains a CB
+/// policy on the harvested data.
+core::PolicyPtr optimize_policy(const logs::LogStore& log,
+                                const PipelineConfig& config,
+                                core::TrainConfig train_config = {});
+
+}  // namespace harvest::pipeline

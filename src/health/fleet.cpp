@@ -1,0 +1,167 @@
+#include "health/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace harvest::health {
+
+double downtime_minutes(const FailureOutcome& outcome, double wait_minutes) {
+  if (wait_minutes <= 0) {
+    throw std::invalid_argument("downtime_minutes: wait must be > 0");
+  }
+  if (outcome.recovery_minutes <= wait_minutes) {
+    return outcome.recovery_minutes;
+  }
+  return wait_minutes + outcome.reboot_minutes;
+}
+
+Fleet::Fleet(FleetConfig config) : config_(config) {
+  if (config.num_wait_actions == 0) {
+    throw std::invalid_argument("Fleet: need at least one wait action");
+  }
+  if (config.downtime_cap_minutes <= 0) {
+    throw std::invalid_argument("Fleet: downtime_cap must be > 0");
+  }
+}
+
+MachineContext Fleet::sample_machine(util::Rng& rng) const {
+  MachineContext ctx;
+  ctx.hardware_gen = static_cast<double>(rng.uniform_index(4));
+  ctx.os_version = static_cast<double>(rng.uniform_index(3));
+  ctx.age_years = rng.uniform(0.0, 6.0);
+  // Failure history is heavy-tailed: most machines clean, a few repeat
+  // offenders.
+  ctx.prior_failures = static_cast<double>(rng.poisson(0.8));
+  ctx.disk_errors = rng.bernoulli(0.15) ? 1.0 : 0.0;
+  ctx.network_flaps = rng.bernoulli(0.20) ? 1.0 : 0.0;
+  ctx.temp_anomaly = rng.uniform();
+  ctx.num_vms = 1.0 + static_cast<double>(rng.uniform_index(20));
+  return ctx;
+}
+
+void Fleet::class_probabilities(const MachineContext& ctx, double& p_fast,
+                                double& p_slow, double& p_hard) const {
+  // Hard failures: logistic in the "machine is dying" signals.
+  const double hard_logit = -2.2 + 2.0 * ctx.disk_errors +
+                            0.25 * ctx.prior_failures +
+                            0.15 * ctx.age_years - 0.20 * ctx.hardware_gen +
+                            0.8 * ctx.temp_anomaly;
+  p_hard = 1.0 / (1.0 + std::exp(-hard_logit));
+  // Among recoveries, network flaps predict slow ones.
+  const double slow_logit = -0.8 + 1.6 * ctx.network_flaps +
+                            0.10 * ctx.os_version;
+  const double slow_given_recovery = 1.0 / (1.0 + std::exp(-slow_logit));
+  p_slow = (1.0 - p_hard) * slow_given_recovery;
+  p_fast = 1.0 - p_hard - p_slow;
+}
+
+FailureOutcome Fleet::sample_outcome(const MachineContext& ctx,
+                                     util::Rng& rng) const {
+  double p_fast = 0, p_slow = 0, p_hard = 0;
+  class_probabilities(ctx, p_fast, p_slow, p_hard);
+
+  FailureOutcome outcome;
+  outcome.reboot_minutes = std::max(
+      1.0, rng.normal(config_.reboot_mean_minutes,
+                      config_.reboot_jitter_minutes));
+
+  const double u = rng.uniform();
+  if (u < p_hard) {
+    outcome.failure_class = FailureClass::kHard;
+    // recovery_minutes stays +inf
+    return outcome;
+  }
+  if (u < p_hard + p_slow) {
+    outcome.failure_class = FailureClass::kTransientSlow;
+    // Slow recoveries: lognormal centred ~6-7 minutes.
+    outcome.recovery_minutes =
+        std::min(std::exp(rng.normal(1.85, 0.25)), 30.0);
+  } else {
+    outcome.failure_class = FailureClass::kTransientFast;
+    // Fast recoveries: lognormal centred ~2 minutes; newer hardware
+    // recovers a bit faster.
+    const double mu = 0.8 - 0.08 * ctx.hardware_gen;
+    outcome.recovery_minutes = std::min(std::exp(rng.normal(mu, 0.45)), 30.0);
+  }
+  return outcome;
+}
+
+double Fleet::reward(const MachineContext& ctx, const FailureOutcome& outcome,
+                     double wait_minutes) const {
+  double dt = downtime_minutes(outcome, wait_minutes);
+  double cap = config_.downtime_cap_minutes;
+  if (config_.scale_by_vms) {
+    dt *= ctx.num_vms;
+    cap *= 20.0;  // max VM count
+  }
+  const double r = 1.0 - dt / cap;
+  return std::clamp(r, 0.0, 1.0);
+}
+
+core::FullFeedbackDataset Fleet::generate_dataset(std::size_t n,
+                                                  util::Rng& rng) const {
+  core::FullFeedbackDataset data(config_.num_wait_actions,
+                                 core::RewardRange{0.0, 1.0});
+  data.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const MachineContext ctx = sample_machine(rng);
+    const FailureOutcome outcome = sample_outcome(ctx, rng);
+    core::FullFeedbackPoint pt;
+    pt.context = ctx.to_features();
+    pt.rewards.reserve(config_.num_wait_actions);
+    for (std::size_t a = 0; a < config_.num_wait_actions; ++a) {
+      pt.rewards.push_back(reward(ctx, outcome,
+                                  static_cast<double>(a + 1)));
+    }
+    data.add(std::move(pt));
+  }
+  return data;
+}
+
+double Fleet::default_policy_reward(const MachineContext& ctx,
+                                    const FailureOutcome& outcome) const {
+  return reward(ctx, outcome, config_.default_wait);
+}
+
+logs::LogStore Fleet::generate_log(std::size_t n, util::Rng& rng) const {
+  logs::LogStore log;
+  double now = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    now += rng.exponential(1.0 / 90.0);  // an episode every ~90s fleet-wide
+    const MachineContext ctx = sample_machine(rng);
+    const FailureOutcome outcome = sample_outcome(ctx, rng);
+
+    logs::Record unresponsive;
+    unresponsive.time = now;
+    unresponsive.event = "unresponsive";
+    unresponsive.set("machine", static_cast<std::int64_t>(i));
+    unresponsive.set("hw", ctx.hardware_gen);
+    unresponsive.set("os", ctx.os_version);
+    unresponsive.set("age", ctx.age_years);
+    unresponsive.set("failures", ctx.prior_failures);
+    unresponsive.set("disk", ctx.disk_errors);
+    unresponsive.set("netflap", ctx.network_flaps);
+    unresponsive.set("temp", ctx.temp_anomaly);
+    unresponsive.set("vms", ctx.num_vms);
+    log.append(std::move(unresponsive));
+
+    logs::Record resolution;
+    resolution.set("machine", static_cast<std::int64_t>(i));
+    if (outcome.recovery_minutes <= config_.default_wait) {
+      resolution.time = now + outcome.recovery_minutes * 60.0;
+      resolution.event = "recovered";
+      resolution.set("after_min", outcome.recovery_minutes);
+    } else {
+      resolution.time =
+          now + (config_.default_wait + outcome.reboot_minutes) * 60.0;
+      resolution.event = "rebooted";
+      resolution.set("waited_min", config_.default_wait);
+      resolution.set("reboot_min", outcome.reboot_minutes);
+    }
+    log.append(std::move(resolution));
+  }
+  return log;
+}
+
+}  // namespace harvest::health

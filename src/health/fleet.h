@@ -1,0 +1,80 @@
+// The machine-fleet simulator standing in for Azure Compute's health logs.
+// Generates unresponsiveness episodes whose recovery behaviour depends on
+// the observable context, yielding (a) full-feedback datasets for ground
+// truth (Figs. 3 and 4) and (b) raw text logs for the scavenging pipeline.
+#pragma once
+
+#include <cstddef>
+
+#include "core/dataset.h"
+#include "health/machine.h"
+#include "logs/log_store.h"
+#include "util/rng.h"
+
+namespace harvest::health {
+
+/// Generator parameters. Defaults are tuned so that (i) the optimal wait
+/// time genuinely depends on context and (ii) reward variance puts the Fig. 3
+/// IPS error near the paper's scale (~8% median at 3500 test points).
+struct FleetConfig {
+  std::size_t num_wait_actions = 9;  ///< wait 1..9 minutes (Table 1)
+  double default_wait = 10.0;        ///< Azure's safe default (max wait)
+  double reboot_mean_minutes = 4.0;
+  double reboot_jitter_minutes = 1.0;
+  /// Reward normalization cap: downtime beyond this maps to reward 0.
+  double downtime_cap_minutes = 16.0;
+  /// Scale downtime by the machine's VM count before normalizing, as in
+  /// Table 1's "[-] total downtime (scaled by # of VMs)". Off by default to
+  /// keep rewards comparable across machines in the headline figures.
+  bool scale_by_vms = false;
+};
+
+/// The fleet simulator. All sampling is driven by the Rng passed per call,
+/// so one instance is reusable across experiments.
+class Fleet {
+ public:
+  explicit Fleet(FleetConfig config);
+
+  const FleetConfig& config() const { return config_; }
+
+  /// Draws a machine's observable context.
+  MachineContext sample_machine(util::Rng& rng) const;
+
+  /// Draws the latent failure outcome for a machine. Hard-failure odds rise
+  /// with disk errors, age, and prior failures; slow recoveries follow
+  /// network flaps.
+  FailureOutcome sample_outcome(const MachineContext& ctx,
+                                util::Rng& rng) const;
+
+  /// Probability of each failure class given the context (used by tests and
+  /// for computing exact optimal policies).
+  void class_probabilities(const MachineContext& ctx, double& p_fast,
+                           double& p_slow, double& p_hard) const;
+
+  /// Reward of waiting `wait_minutes` given an outcome: 1 - downtime/cap,
+  /// clamped to [0, 1] (optionally VM-scaled first).
+  double reward(const MachineContext& ctx, const FailureOutcome& outcome,
+                double wait_minutes) const;
+
+  /// Full-feedback dataset of `n` episodes: rewards of waiting 1..9 minutes.
+  core::FullFeedbackDataset generate_dataset(std::size_t n,
+                                             util::Rng& rng) const;
+
+  /// The raw log Azure would have written under the wait-max default policy:
+  /// one "unresponsive" record with context, then either a "recovered"
+  /// record (with the self-recovery time) or a "rebooted" record. This is
+  /// what the scavenging example parses back into a dataset.
+  logs::LogStore generate_log(std::size_t n, util::Rng& rng) const;
+
+  /// Reward of the production default (wait `default_wait`, §3) on a
+  /// full-feedback point's underlying episode — used as the baseline the
+  /// learned policy must beat. Computed alongside generate_dataset.
+  /// (The default waits longer than any action in {1..9}.)
+  double default_policy_reward(const MachineContext& ctx,
+                               const FailureOutcome& outcome) const;
+
+ private:
+  FleetConfig config_;
+};
+
+}  // namespace harvest::health

@@ -1,0 +1,59 @@
+// Machine-health scenario types (Table 1, column 1): a fleet controller must
+// decide how long to wait for an unresponsive machine before rebooting it.
+// Context is the machine's hardware/OS/failure-history record; the reward is
+// (negative) total downtime.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "core/feature_vector.h"
+
+namespace harvest::health {
+
+/// Latent cause of an unresponsiveness episode. Not observable at decision
+/// time — only correlated signals in MachineContext are.
+enum class FailureClass : std::uint8_t {
+  kTransientFast,  ///< recovers on its own within a couple of minutes
+  kTransientSlow,  ///< recovers, but slowly (5-9 minutes)
+  kHard,           ///< never recovers; only a reboot helps
+};
+
+/// What Azure-style health logs record about a machine: static inventory
+/// (hardware generation, OS), history, and health-sensor signals. "Neither
+/// is fast-changing" (§3), which is what makes contexts ~i.i.d. here.
+struct MachineContext {
+  double hardware_gen = 0;   ///< 0..3, newer is larger
+  double os_version = 0;     ///< 0..2
+  double age_years = 0;      ///< 0..6
+  double prior_failures = 0; ///< failures in the trailing year
+  double disk_errors = 0;    ///< 1 if SMART errors were recently logged
+  double network_flaps = 0;  ///< 1 if NIC flapping was recently logged
+  double temp_anomaly = 0;   ///< 0..1 thermal-anomaly score
+  double num_vms = 0;        ///< customer VMs hosted (SLA weight)
+
+  static constexpr std::size_t kNumFeatures = 8;
+
+  core::FeatureVector to_features() const {
+    return core::FeatureVector{hardware_gen, os_version,      age_years,
+                               prior_failures, disk_errors,   network_flaps,
+                               temp_anomaly,   num_vms};
+  }
+};
+
+/// The resolution of one episode, from which the downtime of *every* wait
+/// time is computable — the full-feedback property of §3.
+struct FailureOutcome {
+  FailureClass failure_class = FailureClass::kTransientFast;
+  /// Self-recovery time in minutes; +inf for hard failures.
+  double recovery_minutes = std::numeric_limits<double>::infinity();
+  /// Minutes a reboot takes if we give up waiting.
+  double reboot_minutes = 0;
+};
+
+/// Downtime (minutes) if we wait `wait_minutes` and the episode resolves as
+/// `outcome`: the machine either comes back by itself within the wait, or we
+/// pay the full wait plus the reboot.
+double downtime_minutes(const FailureOutcome& outcome, double wait_minutes);
+
+}  // namespace harvest::health

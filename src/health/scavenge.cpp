@@ -1,0 +1,111 @@
+#include "health/scavenge.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+namespace harvest::health {
+
+namespace {
+
+/// Rebuilds a MachineContext from the fields of an "unresponsive" record.
+/// Returns false if any field is missing.
+bool parse_context(const logs::Record& rec, MachineContext& ctx) {
+  const auto hw = rec.number("hw");
+  const auto os = rec.number("os");
+  const auto age = rec.number("age");
+  const auto failures = rec.number("failures");
+  const auto disk = rec.number("disk");
+  const auto netflap = rec.number("netflap");
+  const auto temp = rec.number("temp");
+  const auto vms = rec.number("vms");
+  if (!hw || !os || !age || !failures || !disk || !netflap || !temp || !vms) {
+    return false;
+  }
+  ctx.hardware_gen = *hw;
+  ctx.os_version = *os;
+  ctx.age_years = *age;
+  ctx.prior_failures = *failures;
+  ctx.disk_errors = *disk;
+  ctx.network_flaps = *netflap;
+  ctx.temp_anomaly = *temp;
+  ctx.num_vms = *vms;
+  return true;
+}
+
+}  // namespace
+
+HealthScavengeResult scavenge_health_log(const logs::LogStore& log,
+                                         const FleetConfig& config) {
+  // Pass 1: resolution record per machine id.
+  struct Resolution {
+    double recovery_minutes = std::numeric_limits<double>::infinity();
+    double reboot_minutes = 0;
+    bool have = false;
+  };
+  std::map<std::int64_t, Resolution> resolutions;
+  for (const auto& rec : log.records()) {
+    const auto machine = rec.integer("machine");
+    if (!machine) continue;
+    if (rec.event == "recovered") {
+      const auto after = rec.number("after_min");
+      if (!after) continue;
+      Resolution res;
+      res.recovery_minutes = *after;
+      // Counterfactual reboot cost is unobserved on recovered episodes;
+      // code inspection gives its mean.
+      res.reboot_minutes = config.reboot_mean_minutes;
+      res.have = true;
+      resolutions[*machine] = res;
+    } else if (rec.event == "rebooted") {
+      const auto reboot = rec.number("reboot_min");
+      if (!reboot) continue;
+      Resolution res;
+      // recovery right-censored at the default wait: stays +inf, which is
+      // correct for all candidate waits < default_wait.
+      res.reboot_minutes = *reboot;
+      res.have = true;
+      resolutions[*machine] = res;
+    }
+  }
+
+  HealthScavengeResult result{
+      core::FullFeedbackDataset(config.num_wait_actions,
+                                core::RewardRange{0.0, 1.0}),
+      0, 0};
+  Fleet fleet(config);  // reuse its reward normalization
+  for (const auto& rec : log.records()) {
+    if (rec.event != "unresponsive") continue;
+    const auto machine = rec.integer("machine");
+    MachineContext ctx;
+    if (!machine || !parse_context(rec, ctx)) {
+      ++result.dropped;
+      continue;
+    }
+    const auto res_it = resolutions.find(*machine);
+    if (res_it == resolutions.end() || !res_it->second.have) {
+      ++result.dropped;
+      continue;
+    }
+    FailureOutcome outcome;
+    outcome.recovery_minutes = res_it->second.recovery_minutes;
+    outcome.reboot_minutes = res_it->second.reboot_minutes;
+    outcome.failure_class = std::isinf(outcome.recovery_minutes)
+                                ? FailureClass::kHard
+                                : FailureClass::kTransientFast;
+
+    core::FullFeedbackPoint pt;
+    pt.context = ctx.to_features();
+    pt.rewards.reserve(config.num_wait_actions);
+    for (std::size_t a = 0; a < config.num_wait_actions; ++a) {
+      pt.rewards.push_back(
+          fleet.reward(ctx, outcome, static_cast<double>(a + 1)));
+    }
+    result.data.add(std::move(pt));
+    ++result.episodes;
+  }
+  return result;
+}
+
+}  // namespace harvest::health

@@ -1,0 +1,32 @@
+// Step 1 of the methodology applied to machine-health logs: reconstruct a
+// full-feedback dataset from the text log written under the wait-max default
+// policy. Because the default waited longer than any candidate action, every
+// "recovered"/"rebooted" record reveals what *all* shorter waits would have
+// cost — the paper's "similar to a supervised learning dataset" observation.
+#pragma once
+
+#include "core/dataset.h"
+#include "health/fleet.h"
+#include "logs/log_store.h"
+
+namespace harvest::health {
+
+/// Scavenging outcome plus data-quality counters.
+struct HealthScavengeResult {
+  core::FullFeedbackDataset data;
+  std::size_t episodes = 0;
+  std::size_t dropped = 0;  ///< unresponsive records with no resolution
+};
+
+/// Joins each "unresponsive" record with its machine's resolution record and
+/// computes the reward of every wait in {1..num_wait_actions} minutes.
+/// For "rebooted" episodes the self-recovery time is right-censored at the
+/// default wait, but that is harmless: every candidate wait is shorter, so
+/// its downtime is wait + reboot regardless of the unobserved recovery time.
+/// For "recovered" episodes the reboot cost of counterfactual shorter waits
+/// is unobserved; the fleet's configured mean is used (code inspection —
+/// reboot duration is a known, narrow distribution).
+HealthScavengeResult scavenge_health_log(const logs::LogStore& log,
+                                         const FleetConfig& config);
+
+}  // namespace harvest::health

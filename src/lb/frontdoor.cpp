@@ -1,0 +1,136 @@
+#include "lb/frontdoor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace harvest::lb {
+
+std::size_t HierarchicalRouter::count_servers(
+    const std::vector<std::vector<std::size_t>>& clusters) {
+  std::size_t n = 0;
+  for (const auto& c : clusters) n += c.size();
+  return n;
+}
+
+HierarchicalRouter::HierarchicalRouter(
+    std::vector<std::vector<std::size_t>> clusters, RouterPtr edge,
+    std::vector<RouterPtr> locals)
+    : Router(count_servers(clusters)),
+      clusters_(std::move(clusters)),
+      edge_(std::move(edge)),
+      locals_(std::move(locals)) {
+  if (clusters_.empty()) {
+    throw std::invalid_argument("HierarchicalRouter: no clusters");
+  }
+  if (!edge_ || edge_->num_servers() != clusters_.size()) {
+    throw std::invalid_argument(
+        "HierarchicalRouter: edge router must have one action per cluster");
+  }
+  if (locals_.size() != clusters_.size()) {
+    throw std::invalid_argument(
+        "HierarchicalRouter: one local router per cluster required");
+  }
+  cluster_of_.assign(num_servers(), clusters_.size());
+  for (std::size_t c = 0; c < clusters_.size(); ++c) {
+    if (clusters_[c].empty()) {
+      throw std::invalid_argument("HierarchicalRouter: empty cluster");
+    }
+    if (!locals_[c] || locals_[c]->num_servers() != clusters_[c].size()) {
+      throw std::invalid_argument(
+          "HierarchicalRouter: local router size mismatch");
+    }
+    for (std::size_t s : clusters_[c]) {
+      if (s >= num_servers() || cluster_of_[s] != clusters_.size()) {
+        throw std::invalid_argument(
+            "HierarchicalRouter: servers must partition exactly");
+      }
+      cluster_of_[s] = c;
+    }
+  }
+}
+
+std::size_t HierarchicalRouter::cluster_of(std::size_t server) const {
+  if (server >= cluster_of_.size()) {
+    throw std::out_of_range("HierarchicalRouter::cluster_of");
+  }
+  return cluster_of_[server];
+}
+
+RoutingContext HierarchicalRouter::edge_context(
+    const RoutingContext& ctx) const {
+  RoutingContext edge_ctx;
+  edge_ctx.request_heavy = ctx.request_heavy;
+  edge_ctx.open_connections.assign(clusters_.size(), 0);
+  for (std::size_t c = 0; c < clusters_.size(); ++c) {
+    for (std::size_t s : clusters_[c]) {
+      edge_ctx.open_connections[c] += ctx.open_connections[s];
+    }
+  }
+  return edge_ctx;
+}
+
+RoutingContext HierarchicalRouter::local_context(const RoutingContext& ctx,
+                                                 std::size_t cluster) const {
+  if (cluster >= clusters_.size()) {
+    throw std::out_of_range("HierarchicalRouter::local_context");
+  }
+  RoutingContext local_ctx;
+  local_ctx.request_heavy = ctx.request_heavy;
+  local_ctx.open_connections.reserve(clusters_[cluster].size());
+  for (std::size_t s : clusters_[cluster]) {
+    local_ctx.open_connections.push_back(ctx.open_connections[s]);
+  }
+  return local_ctx;
+}
+
+std::size_t HierarchicalRouter::route(const RoutingContext& ctx,
+                                      util::Rng& rng) {
+  const std::size_t cluster = edge_->route(edge_context(ctx), rng);
+  if (cluster >= clusters_.size()) {
+    throw std::logic_error("HierarchicalRouter: edge chose bad cluster");
+  }
+  const std::size_t local =
+      locals_[cluster]->route(local_context(ctx, cluster), rng);
+  if (local >= clusters_[cluster].size()) {
+    throw std::logic_error("HierarchicalRouter: local chose bad server");
+  }
+  return clusters_[cluster][local];
+}
+
+std::vector<double> HierarchicalRouter::distribution(
+    const RoutingContext& ctx) const {
+  std::vector<double> dist(num_servers(), 0.0);
+  const std::vector<double> edge_dist = edge_->distribution(edge_context(ctx));
+  for (std::size_t c = 0; c < clusters_.size(); ++c) {
+    if (edge_dist[c] == 0) continue;
+    const std::vector<double> local_dist =
+        locals_[c]->distribution(local_context(ctx, c));
+    for (std::size_t i = 0; i < clusters_[c].size(); ++i) {
+      dist[clusters_[c][i]] = edge_dist[c] * local_dist[i];
+    }
+  }
+  return dist;
+}
+
+std::string HierarchicalRouter::name() const {
+  return "frontdoor(" + edge_->name() + " over " +
+         std::to_string(clusters_.size()) + " clusters)";
+}
+
+double HierarchicalRouter::edge_epsilon() const {
+  return 1.0 / static_cast<double>(clusters_.size());
+}
+
+std::vector<std::vector<std::size_t>> even_clusters(std::size_t num_servers,
+                                                    std::size_t num_clusters) {
+  if (num_clusters == 0 || num_servers < num_clusters) {
+    throw std::invalid_argument("even_clusters: bad shape");
+  }
+  std::vector<std::vector<std::size_t>> clusters(num_clusters);
+  for (std::size_t s = 0; s < num_servers; ++s) {
+    clusters[s * num_clusters / num_servers].push_back(s);
+  }
+  return clusters;
+}
+
+}  // namespace harvest::lb

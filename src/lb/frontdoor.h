@@ -1,0 +1,58 @@
+// Hierarchical load balancing à la Azure Front Door (Fig. 6): an edge proxy
+// picks a cluster, then that cluster's local balancer picks a server. Each
+// level has a small action space, so each level's randomness is cheap to
+// harvest (§5, "Hierarchy and large action spaces").
+#pragma once
+
+#include <vector>
+
+#include "lb/router.h"
+
+namespace harvest::lb {
+
+/// Composes an edge router (over clusters) with per-cluster local routers
+/// (over that cluster's servers) into one fleet-wide Router. The edge level
+/// sees aggregate cluster loads; locals see their own servers' loads — the
+/// "state may be distributed" reality of §5.
+class HierarchicalRouter final : public Router {
+ public:
+  /// `clusters[c]` lists the global server indices of cluster c. Every
+  /// server must appear in exactly one cluster. `edge` must have one action
+  /// per cluster; `locals[c]` one action per server of cluster c.
+  HierarchicalRouter(std::vector<std::vector<std::size_t>> clusters,
+                     RouterPtr edge, std::vector<RouterPtr> locals);
+
+  std::size_t route(const RoutingContext& ctx, util::Rng& rng) override;
+  std::vector<double> distribution(const RoutingContext& ctx) const override;
+  std::string name() const override;
+
+  std::size_t num_clusters() const { return clusters_.size(); }
+  std::size_t cluster_of(std::size_t server) const;
+
+  /// The edge-level context: total open connections per cluster.
+  RoutingContext edge_context(const RoutingContext& ctx) const;
+  /// The local context of cluster c: open connections of its servers.
+  RoutingContext local_context(const RoutingContext& ctx,
+                               std::size_t cluster) const;
+
+  /// Effective per-server propensity floor under uniform randomization at
+  /// both levels: 1/(C * max_cluster_size) vs the flat 1/S — same floor,
+  /// but each level's *decision* has propensity 1/C or 1/size(c), which is
+  /// what enters Eq. 1 when optimizing that level alone.
+  double edge_epsilon() const;
+
+ private:
+  static std::size_t count_servers(
+      const std::vector<std::vector<std::size_t>>& clusters);
+
+  std::vector<std::vector<std::size_t>> clusters_;
+  std::vector<std::size_t> cluster_of_;  // server -> cluster
+  RouterPtr edge_;
+  std::vector<RouterPtr> locals_;
+};
+
+/// Evenly partitions `num_servers` into `num_clusters` contiguous clusters.
+std::vector<std::vector<std::size_t>> even_clusters(std::size_t num_servers,
+                                                    std::size_t num_clusters);
+
+}  // namespace harvest::lb

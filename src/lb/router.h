@@ -1,0 +1,64 @@
+// Routing policies for the Nginx-like load balancer. A Router sees the
+// per-server load snapshot (the context) and picks a backend (the action);
+// randomized routers expose their action distribution so their decisions can
+// be harvested as exploration data.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/feature_vector.h"
+#include "util/rng.h"
+
+namespace harvest::lb {
+
+/// What the load balancer knows at decision time. Mirrors what Nginx's
+/// logging modules can record (active connections per upstream plus
+/// request attributes like URI/size, §3).
+struct RoutingContext {
+  std::vector<std::size_t> open_connections;  // per server
+  bool request_heavy = false;                 // request-specific context
+  /// Per-server health/degradation factors (1 = healthy), filled only when
+  /// the deployment exposes health probes (LbConfig::expose_health). Empty
+  /// otherwise, so feature layouts stay stable for health-blind setups.
+  std::vector<double> degradations;
+
+  /// The CB context: one feature per server (its open-connection count),
+  /// the request-type indicator, then health factors if exposed.
+  core::FeatureVector to_features() const {
+    std::vector<double> f(open_connections.begin(), open_connections.end());
+    f.push_back(request_heavy ? 1.0 : 0.0);
+    f.insert(f.end(), degradations.begin(), degradations.end());
+    return core::FeatureVector(std::move(f));
+  }
+};
+
+/// A load-balancing policy.
+class Router {
+ public:
+  explicit Router(std::size_t num_servers) : num_servers_(num_servers) {}
+  virtual ~Router() = default;
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  std::size_t num_servers() const { return num_servers_; }
+
+  /// Picks the backend for the next request.
+  virtual std::size_t route(const RoutingContext& ctx, util::Rng& rng) = 0;
+
+  /// The probability of each backend given the context — the logging
+  /// propensity when this router's traffic is harvested. Deterministic
+  /// routers return a one-hot vector.
+  virtual std::vector<double> distribution(const RoutingContext& ctx) const = 0;
+
+  virtual std::string name() const = 0;
+
+ private:
+  std::size_t num_servers_;
+};
+
+using RouterPtr = std::unique_ptr<Router>;
+
+}  // namespace harvest::lb

@@ -1,0 +1,84 @@
+// Backend server model for the load-balancing scenario. Exactly the setup of
+// the paper's Fig. 5: each server's latency is a linear function of its open
+// connections, and server 2 is slower than server 1 by an additive constant.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+
+namespace harvest::lb {
+
+/// Latency law parameters for one backend.
+struct ServerConfig {
+  double base_latency = 0.2;      ///< seconds at zero load
+  double per_conn_latency = 0.02; ///< seconds added per open connection
+  /// Extra seconds for a "heavy" request (request-specific context, §5:
+  /// CB can learn per-request-type costs that least-loaded cannot see).
+  double heavy_penalty = 0.0;
+  double latency_cap = 10.0;      ///< request timeout (keeps overload finite)
+};
+
+/// A backend server: tracks open connections and prices each admitted
+/// request with the Fig. 5 latency law evaluated *after* admission.
+class Server {
+ public:
+  explicit Server(ServerConfig config) : config_(config) {
+    if (config.base_latency < 0 || config.per_conn_latency < 0 ||
+        config.heavy_penalty < 0 || config.latency_cap <= 0) {
+      throw std::invalid_argument("Server: invalid latency parameters");
+    }
+  }
+
+  /// The latency a request admitted right now would experience.
+  double latency_if_admitted(bool heavy = false) const {
+    return latency_for(open_connections_ + 1, heavy);
+  }
+
+  /// Latency at a hypothetical connection count (Fig. 5 curve). A fault
+  /// (degradation > 1) scales the whole load-dependent term, as a CPU or
+  /// network fault would.
+  double latency_for(std::size_t connections, bool heavy = false) const {
+    const double lat = degradation_ * (config_.base_latency +
+                                       config_.per_conn_latency *
+                                           static_cast<double>(connections)) +
+                       (heavy ? config_.heavy_penalty : 0.0);
+    return lat < config_.latency_cap ? lat : config_.latency_cap;
+  }
+
+  /// Fault injection (Chaos-Monkey-style, §5): slow the server down by
+  /// `factor` (>= 1) until reset to 1.
+  void set_degradation(double factor) {
+    if (factor < 1.0) {
+      throw std::invalid_argument("Server: degradation factor >= 1");
+    }
+    degradation_ = factor;
+  }
+  double degradation() const { return degradation_; }
+
+  /// Admits one request; returns its latency.
+  double admit(bool heavy = false) {
+    ++open_connections_;
+    ++total_admitted_;
+    return latency_for(open_connections_, heavy);
+  }
+
+  /// Completes one request.
+  void release() {
+    if (open_connections_ == 0) {
+      throw std::logic_error("Server::release: no open connections");
+    }
+    --open_connections_;
+  }
+
+  std::size_t open_connections() const { return open_connections_; }
+  std::size_t total_admitted() const { return total_admitted_; }
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  ServerConfig config_;
+  double degradation_ = 1.0;
+  std::size_t open_connections_ = 0;
+  std::size_t total_admitted_ = 0;
+};
+
+}  // namespace harvest::lb

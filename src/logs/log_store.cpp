@@ -1,0 +1,39 @@
+#include "logs/log_store.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace harvest::logs {
+
+void LogStore::append(Record record) { records_.push_back(std::move(record)); }
+
+void LogStore::write_text(std::ostream& out) const {
+  for (const auto& rec : records_) out << serialize(rec) << '\n';
+}
+
+std::pair<LogStore, std::size_t> LogStore::read_text(std::istream& in) {
+  LogStore store;
+  std::size_t skipped = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto rec = parse(line);
+    if (rec) {
+      store.append(std::move(*rec));
+    } else {
+      ++skipped;
+    }
+  }
+  return {std::move(store), skipped};
+}
+
+LogStore LogStore::roundtrip() const {
+  std::stringstream buffer;
+  write_text(buffer);
+  auto [store, skipped] = read_text(buffer);
+  (void)skipped;  // serialize() output always parses
+  return std::move(store);
+}
+
+}  // namespace harvest::logs

@@ -1,0 +1,41 @@
+// In-memory and file-backed log streams. The simulators append Records here
+// exactly as a production system would write its access log; the scavenger
+// reads them back. Keeping both sides honest — writer never shares state with
+// reader beyond the serialized text — is what makes this a faithful rehearsal
+// of log harvesting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "logs/record.h"
+
+namespace harvest::logs {
+
+/// An append-only sequence of records, ordered by append time.
+class LogStore {
+ public:
+  void append(Record record);
+
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  const Record& operator[](std::size_t i) const { return records_[i]; }
+  const std::vector<Record>& records() const { return records_; }
+
+  /// Serializes every record, one line each.
+  void write_text(std::ostream& out) const;
+
+  /// Parses a text log; malformed lines are counted and skipped (real logs
+  /// have torn writes). Returns the number of skipped lines.
+  static std::pair<LogStore, std::size_t> read_text(std::istream& in);
+
+  /// Round-trips through the wire format — what a scavenger actually sees.
+  /// Used by tests to prove no information beyond the text survives.
+  LogStore roundtrip() const;
+
+ private:
+  std::vector<Record> records_;
+};
+
+}  // namespace harvest::logs

@@ -1,0 +1,51 @@
+#include "logs/lookahead.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace harvest::logs {
+
+std::vector<LookaheadMatch> lookahead_join(const LogStore& log,
+                                           const std::string& decision_event,
+                                           const std::string& outcome_event,
+                                           const std::string& key_field,
+                                           double horizon) {
+  if (horizon <= 0) throw std::invalid_argument("lookahead_join: horizon > 0");
+
+  // Pass 1: per-key sorted outcome timestamps.
+  std::map<std::string, std::vector<double>> outcomes;
+  for (const auto& rec : log.records()) {
+    if (rec.event != outcome_event) continue;
+    const std::string* key = rec.text(key_field);
+    if (key == nullptr) continue;
+    outcomes[*key].push_back(rec.time);
+  }
+  for (auto& [key, times] : outcomes) {
+    std::sort(times.begin(), times.end());
+  }
+
+  // Pass 2: binary-search the first outcome after each decision.
+  std::vector<LookaheadMatch> matches;
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const auto& rec = log[i];
+    if (rec.event != decision_event) continue;
+    LookaheadMatch match{i, std::nullopt};
+    const std::string* key = rec.text(key_field);
+    if (key != nullptr) {
+      const auto it = outcomes.find(*key);
+      if (it != outcomes.end()) {
+        const auto& times = it->second;
+        const auto next =
+            std::upper_bound(times.begin(), times.end(), rec.time);
+        if (next != times.end() && *next - rec.time <= horizon) {
+          match.delay = *next - rec.time;
+        }
+      }
+    }
+    matches.push_back(match);
+  }
+  return matches;
+}
+
+}  // namespace harvest::logs

@@ -1,0 +1,35 @@
+// Lookahead reward reconstruction (§3, Redis): when the reward of a decision
+// only materializes later in the log (the next access of an evicted item),
+// join each decision record to the first matching future record by key.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "logs/log_store.h"
+
+namespace harvest::logs {
+
+/// One joined decision: index of the decision record and, if found within
+/// the horizon, the delay until the matching outcome record.
+struct LookaheadMatch {
+  std::size_t decision_index = 0;
+  std::optional<double> delay;  ///< outcome.time - decision.time
+};
+
+/// For every `decision_event` record, scans forward for the first
+/// `outcome_event` record with the same value of `key_field` and a strictly
+/// later timestamp, within `horizon` seconds. Unmatched decisions get
+/// delay = nullopt (the caller decides whether that means "never accessed
+/// again" = maximal reward, or "censored" = drop).
+///
+/// Complexity: one pass building per-key outcome time lists, then one binary
+/// search per decision — O(R + D log R).
+std::vector<LookaheadMatch> lookahead_join(const LogStore& log,
+                                           const std::string& decision_event,
+                                           const std::string& outcome_event,
+                                           const std::string& key_field,
+                                           double horizon);
+
+}  // namespace harvest::logs

@@ -1,0 +1,87 @@
+#include "logs/record.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/string_util.h"
+
+namespace harvest::logs {
+
+std::optional<double> Record::number(const std::string& key) const {
+  const auto it = fields.find(key);
+  if (it == fields.end()) return std::nullopt;
+  return util::parse_double(it->second);
+}
+
+std::optional<std::int64_t> Record::integer(const std::string& key) const {
+  const auto it = fields.find(key);
+  if (it == fields.end()) return std::nullopt;
+  return util::parse_int(it->second);
+}
+
+const std::string* Record::text(const std::string& key) const {
+  const auto it = fields.find(key);
+  return it == fields.end() ? nullptr : &it->second;
+}
+
+Record& Record::set(const std::string& key, const std::string& value) {
+  fields[key] = value;
+  return *this;
+}
+
+Record& Record::set(const std::string& key, double value) {
+  std::ostringstream ss;
+  ss.precision(12);
+  ss << value;
+  fields[key] = ss.str();
+  return *this;
+}
+
+Record& Record::set(const std::string& key, std::int64_t value) {
+  fields[key] = std::to_string(value);
+  return *this;
+}
+
+std::string serialize(const Record& record) {
+  std::ostringstream out;
+  out.precision(12);
+  out << "t=" << record.time << " ev=" << record.event;
+  for (const auto& [key, value] : record.fields) {
+    if (key.find_first_of(" =\n") != std::string::npos ||
+        value.find_first_of(" =\n") != std::string::npos) {
+      throw std::invalid_argument(
+          "logs::serialize: keys/values may not contain spaces, '=' or "
+          "newlines: " + key + "=" + value);
+    }
+    out << ' ' << key << '=' << value;
+  }
+  return out.str();
+}
+
+std::optional<Record> parse(std::string_view line) {
+  Record rec;
+  bool have_time = false;
+  bool have_event = false;
+  for (std::string_view token : util::split(util::trim(line), ' ')) {
+    if (token.empty()) continue;
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos) return std::nullopt;
+    const std::string_view key = token.substr(0, eq);
+    const std::string_view value = token.substr(eq + 1);
+    if (key == "t") {
+      const auto t = util::parse_double(value);
+      if (!t) return std::nullopt;
+      rec.time = *t;
+      have_time = true;
+    } else if (key == "ev") {
+      rec.event = std::string(value);
+      have_event = true;
+    } else {
+      rec.fields.emplace(std::string(key), std::string(value));
+    }
+  }
+  if (!have_time || !have_event) return std::nullopt;
+  return rec;
+}
+
+}  // namespace harvest::logs

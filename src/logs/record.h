@@ -1,0 +1,41 @@
+// The "system log" abstraction. Production systems (Nginx access logs, Redis
+// keyspace logs, Azure health events) already emit timestamped key=value
+// records; harvesting scavenges exploration data out of them without touching
+// the live system. This module defines that record and its text wire format.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace harvest::logs {
+
+/// One log line: a timestamp, an event kind, and free-form key=value fields.
+struct Record {
+  double time = 0;
+  std::string event;
+  std::map<std::string, std::string> fields;
+
+  /// Typed field accessors; nullopt if absent or unparsable.
+  std::optional<double> number(const std::string& key) const;
+  std::optional<std::int64_t> integer(const std::string& key) const;
+  const std::string* text(const std::string& key) const;
+
+  /// Fluent setters used by the simulators' logging hooks.
+  Record& set(const std::string& key, const std::string& value);
+  Record& set(const std::string& key, double value);
+  Record& set(const std::string& key, std::int64_t value);
+};
+
+/// Serializes to the canonical single-line format:
+///   t=<time> ev=<event> k1=v1 k2=v2 ...
+/// Keys are emitted in sorted order; values with spaces are rejected (the
+/// simulators never produce them, and it keeps parsing trivial and fast).
+std::string serialize(const Record& record);
+
+/// Parses one line; nullopt on malformed input (missing t=/ev=, bad floats).
+std::optional<Record> parse(std::string_view line);
+
+}  // namespace harvest::logs

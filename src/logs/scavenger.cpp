@@ -1,0 +1,67 @@
+#include "logs/scavenger.h"
+
+#include <stdexcept>
+
+namespace harvest::logs {
+
+ScavengeResult scavenge(const LogStore& log, const ScavengeSpec& spec) {
+  if (spec.decision_event.empty()) {
+    throw std::invalid_argument("scavenge: decision_event required");
+  }
+  if (spec.num_actions == 0) {
+    throw std::invalid_argument("scavenge: num_actions required");
+  }
+  if (!spec.reward_transform) {
+    throw std::invalid_argument("scavenge: reward_transform required");
+  }
+
+  ScavengeResult result{
+      core::ExplorationDataset(spec.num_actions, spec.reward_range), 0, 0, 0,
+      0};
+  for (const auto& rec : log.records()) {
+    ++result.records_seen;
+    if (rec.event != spec.decision_event) continue;
+    ++result.decisions_seen;
+
+    std::vector<double> features;
+    features.reserve(spec.context_fields.size());
+    bool missing = false;
+    for (const auto& field : spec.context_fields) {
+      const auto v = rec.number(field);
+      if (!v) {
+        missing = true;
+        break;
+      }
+      features.push_back(*v);
+    }
+    const auto action_raw = rec.integer(spec.action_field);
+    const auto reward_raw = rec.number(spec.reward_field);
+    if (missing || !action_raw || !reward_raw) {
+      ++result.dropped_missing_fields;
+      continue;
+    }
+    if (*action_raw < 0 ||
+        *action_raw >= static_cast<std::int64_t>(spec.num_actions)) {
+      ++result.dropped_bad_action;
+      continue;
+    }
+
+    double propensity = 1.0;  // placeholder until step-2 annotation
+    if (!spec.propensity_field.empty()) {
+      const auto p = rec.number(spec.propensity_field);
+      if (!p || *p <= 0 || *p > 1) {
+        ++result.dropped_missing_fields;
+        continue;
+      }
+      propensity = *p;
+    }
+
+    result.data.add(core::ExplorationPoint{
+        core::FeatureVector(std::move(features)),
+        static_cast<core::ActionId>(*action_raw),
+        spec.reward_transform(*reward_raw), propensity});
+  }
+  return result;
+}
+
+}  // namespace harvest::logs

@@ -1,0 +1,51 @@
+// Step 1 of the methodology: extracting ⟨x, a, r⟩ tuples from raw logs.
+// A ScavengeSpec declares which fields form the context, the action, and the
+// reward — the "feature engineering" the paper notes every application needs.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "logs/log_store.h"
+
+namespace harvest::logs {
+
+/// Declarative mapping from log records to exploration tuples.
+struct ScavengeSpec {
+  /// Only records with this event kind are decisions.
+  std::string decision_event;
+  /// Field names (in order) that become the context features.
+  std::vector<std::string> context_fields;
+  /// Field holding the action index.
+  std::string action_field;
+  /// Field holding the raw reward/cost value.
+  std::string reward_field;
+  /// Optional field holding the logged propensity. When absent, points get
+  /// the placeholder propensity 1 and must be re-annotated by a
+  /// core::PropensityModel (step 2).
+  std::string propensity_field;
+  /// Raw reward -> reward in reward_range (e.g. latency -> 1 - lat/max).
+  std::function<double(double)> reward_transform;
+
+  std::size_t num_actions = 0;
+  core::RewardRange reward_range;
+};
+
+/// Scavenging outcome: the dataset plus data-quality counters, because real
+/// logs are incomplete and the pipeline must say how much it dropped.
+struct ScavengeResult {
+  core::ExplorationDataset data;
+  std::size_t records_seen = 0;
+  std::size_t decisions_seen = 0;
+  std::size_t dropped_missing_fields = 0;
+  std::size_t dropped_bad_action = 0;
+};
+
+/// Runs the spec over the log. Throws std::invalid_argument on a malformed
+/// spec (no decision event, zero actions, missing transform).
+ScavengeResult scavenge(const LogStore& log, const ScavengeSpec& spec);
+
+}  // namespace harvest::logs

@@ -1,0 +1,27 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace harvest::sim {
+
+void EventQueue::push(SimTime time, std::function<void()> action) {
+  if (!action) throw std::invalid_argument("EventQueue::push: null action");
+  heap_.push(Event{time, next_seq_++, std::move(action)});
+}
+
+SimTime EventQueue::next_time() const {
+  if (heap_.empty()) throw std::logic_error("EventQueue::next_time: empty");
+  return heap_.top().time;
+}
+
+Event EventQueue::pop() {
+  if (heap_.empty()) throw std::logic_error("EventQueue::pop: empty");
+  // priority_queue::top returns const&; move via const_cast is safe here
+  // because the element is popped immediately after.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  return ev;
+}
+
+}  // namespace harvest::sim

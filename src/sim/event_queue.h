@@ -1,0 +1,49 @@
+// Discrete-event core: a time-ordered queue of callbacks. All three scenario
+// simulators (load balancer, cache, machine fleet) run on this engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace harvest::sim {
+
+/// Simulated time in seconds.
+using SimTime = double;
+
+/// A scheduled callback.
+struct Event {
+  SimTime time = 0;
+  std::uint64_t seq = 0;  // FIFO tie-break for simultaneous events
+  std::function<void()> action;
+};
+
+/// Min-heap of events ordered by (time, insertion sequence). Events at equal
+/// timestamps fire in insertion order, which keeps simulations deterministic.
+class EventQueue {
+ public:
+  void push(SimTime time, std::function<void()> action);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Timestamp of the next event; queue must be non-empty.
+  SimTime next_time() const;
+
+  /// Removes and returns the next event; queue must be non-empty.
+  Event pop();
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace harvest::sim

@@ -1,0 +1,13 @@
+#include "sim/metrics.h"
+
+namespace harvest::sim {
+
+Metric::Metric() : p50_(0.5), p99_(0.99) {}
+
+void Metric::record(double value) {
+  summary_.add(value);
+  p50_.add(value);
+  p99_.add(value);
+}
+
+}  // namespace harvest::sim

@@ -1,0 +1,43 @@
+// Named metric recorders attached to simulations: streaming summaries plus
+// p50/p99 estimates, the counters systems actually log ("reward" column of
+// Table 1 is a p99 latency).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "stats/quantile.h"
+#include "stats/summary.h"
+
+namespace harvest::sim {
+
+/// One metric series: summary moments plus streaming median and p99.
+class Metric {
+ public:
+  Metric();
+
+  void record(double value);
+
+  const stats::Summary& summary() const { return summary_; }
+  double mean() const { return summary_.mean(); }
+  std::size_t count() const { return summary_.count(); }
+  double p50() const { return p50_.value(); }
+  double p99() const { return p99_.value(); }
+
+ private:
+  stats::Summary summary_;
+  stats::P2Quantile p50_;
+  stats::P2Quantile p99_;
+};
+
+/// A string-keyed registry of metrics (lazily created on first record).
+class MetricRegistry {
+ public:
+  Metric& get(const std::string& name) { return metrics_[name]; }
+  const std::map<std::string, Metric>& all() const { return metrics_; }
+
+ private:
+  std::map<std::string, Metric> metrics_;
+};
+
+}  // namespace harvest::sim

@@ -1,0 +1,45 @@
+#include "sim/simulator.h"
+
+#include <stdexcept>
+
+namespace harvest::sim {
+
+void Simulator::schedule(SimTime delay, std::function<void()> action) {
+  if (delay < 0) throw std::invalid_argument("Simulator: negative delay");
+  queue_.push(now_ + delay, std::move(action));
+}
+
+void Simulator::schedule_at(SimTime when, std::function<void()> action) {
+  if (when < now_) {
+    throw std::invalid_argument("Simulator: scheduling in the past");
+  }
+  queue_.push(when, std::move(action));
+}
+
+void Simulator::run_until(SimTime horizon) {
+  if (horizon < now_) {
+    throw std::invalid_argument("Simulator: horizon in the past");
+  }
+  while (!queue_.empty() && queue_.next_time() <= horizon) {
+    Event ev = queue_.pop();
+    now_ = ev.time;
+    ev.action();
+    ++processed_;
+  }
+  now_ = horizon;
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) {
+    Event ev = queue_.pop();
+    now_ = ev.time;
+    ev.action();
+    ++processed_;
+  }
+}
+
+void Simulator::clear() {
+  while (!queue_.empty()) queue_.pop();
+}
+
+}  // namespace harvest::sim

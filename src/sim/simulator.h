@@ -1,0 +1,41 @@
+// The simulation driver: a clock plus the event queue, with run-until
+// semantics. Time never flows backward; scheduling in the past throws.
+#pragma once
+
+#include <functional>
+
+#include "sim/event_queue.h"
+
+namespace harvest::sim {
+
+/// Owns simulated time. Components capture a Simulator& and schedule
+/// callbacks; `run_until` drains events in order, advancing the clock.
+class Simulator {
+ public:
+  SimTime now() const { return now_; }
+  std::size_t events_processed() const { return processed_; }
+  std::size_t events_pending() const { return queue_.size(); }
+
+  /// Schedules `action` at now() + delay. delay must be >= 0.
+  void schedule(SimTime delay, std::function<void()> action);
+
+  /// Schedules `action` at absolute time `when` (must be >= now()).
+  void schedule_at(SimTime when, std::function<void()> action);
+
+  /// Processes events with time <= horizon, then advances the clock to the
+  /// horizon. Events scheduled during the run are also processed if due.
+  void run_until(SimTime horizon);
+
+  /// Drains the queue completely.
+  void run();
+
+  /// Drops all pending events (end-of-experiment cleanup).
+  void clear();
+
+ private:
+  SimTime now_ = 0;
+  std::size_t processed_ = 0;
+  EventQueue queue_;
+};
+
+}  // namespace harvest::sim

@@ -1,0 +1,44 @@
+#include "stats/bootstrap.h"
+
+#include <stdexcept>
+
+#include "stats/quantile.h"
+
+namespace harvest::stats {
+
+std::vector<double> bootstrap_replicates(std::size_t n,
+                                         const IndexStatistic& stat,
+                                         std::size_t replicates,
+                                         util::Rng& rng) {
+  if (n == 0) throw std::invalid_argument("bootstrap: empty dataset");
+  if (replicates == 0) throw std::invalid_argument("bootstrap: 0 replicates");
+  std::vector<double> stats;
+  stats.reserve(replicates);
+  std::vector<std::size_t> indices(n);
+  for (std::size_t r = 0; r < replicates; ++r) {
+    for (auto& idx : indices) idx = rng.uniform_index(n);
+    stats.push_back(stat(indices));
+  }
+  return stats;
+}
+
+Interval bootstrap_interval(std::size_t n, const IndexStatistic& stat,
+                            std::size_t replicates, double delta,
+                            util::Rng& rng) {
+  const auto stats = bootstrap_replicates(n, stat, replicates, rng);
+  return {quantile(stats, delta / 2), quantile(stats, 1 - delta / 2)};
+}
+
+Interval bootstrap_mean_interval(std::span<const double> values,
+                                 std::size_t replicates, double delta,
+                                 util::Rng& rng) {
+  const IndexStatistic mean_stat =
+      [values](std::span<const std::size_t> idx) {
+        double sum = 0;
+        for (std::size_t i : idx) sum += values[i];
+        return sum / static_cast<double>(idx.size());
+      };
+  return bootstrap_interval(values.size(), mean_stat, replicates, delta, rng);
+}
+
+}  // namespace harvest::stats

@@ -1,0 +1,37 @@
+// Nonparametric bootstrap for estimator-error percentiles (Fig. 3 error bars).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "stats/ci.h"
+#include "util/rng.h"
+
+namespace harvest::stats {
+
+/// A statistic computed over a resampled dataset (by index, so callers can
+/// resample structured records without copying them).
+using IndexStatistic =
+    std::function<double(std::span<const std::size_t> indices)>;
+
+/// Percentile-bootstrap interval for `stat` over a dataset of size n.
+/// Draws `replicates` resamples with replacement; returns the
+/// [delta/2, 1-delta/2] percentile interval of the replicate statistics.
+Interval bootstrap_interval(std::size_t n, const IndexStatistic& stat,
+                            std::size_t replicates, double delta,
+                            util::Rng& rng);
+
+/// Convenience: bootstrap interval for the mean of raw values.
+Interval bootstrap_mean_interval(std::span<const double> values,
+                                 std::size_t replicates, double delta,
+                                 util::Rng& rng);
+
+/// All replicate statistics (callers then take whatever percentiles they
+/// need, e.g. Fig. 3's 5th/95th).
+std::vector<double> bootstrap_replicates(std::size_t n,
+                                         const IndexStatistic& stat,
+                                         std::size_t replicates,
+                                         util::Rng& rng);
+
+}  // namespace harvest::stats

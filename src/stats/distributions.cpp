@@ -1,0 +1,91 @@
+#include "stats/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace harvest::stats {
+
+Zipf::Zipf(std::size_t n, double exponent) {
+  if (n == 0) throw std::invalid_argument("Zipf: n must be > 0");
+  cdf_.resize(n);
+  double cum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cum += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    cdf_[i] = cum;
+  }
+  for (auto& c : cdf_) c /= cum;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t Zipf::sample(util::Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double Zipf::probability(std::size_t i) const {
+  if (i >= cdf_.size()) throw std::out_of_range("Zipf::probability");
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  const std::size_t n = weights.size();
+  if (n == 0) throw std::invalid_argument("AliasTable: empty weights");
+  double total = 0;
+  for (double w : weights) {
+    if (w < 0) throw std::invalid_argument("AliasTable: negative weight");
+    total += w;
+  }
+  if (total <= 0) throw std::invalid_argument("AliasTable: zero total weight");
+
+  prob_normalized_.resize(n);
+  accept_.resize(n);
+  alias_.resize(n);
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    prob_normalized_[i] = weights[i] / total;
+    scaled[i] = prob_normalized_[i] * static_cast<double>(n);
+  }
+  std::vector<std::size_t> small, large;
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s = small.back();
+    small.pop_back();
+    const std::size_t l = large.back();
+    accept_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] -= 1.0 - scaled[s];
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (std::size_t i : large) {
+    accept_[i] = 1.0;
+    alias_[i] = i;
+  }
+  for (std::size_t i : small) {
+    accept_[i] = 1.0;
+    alias_[i] = i;
+  }
+}
+
+std::size_t AliasTable::sample(util::Rng& rng) const {
+  const std::size_t col = rng.uniform_index(accept_.size());
+  return rng.uniform() < accept_[col] ? col : alias_[col];
+}
+
+PoissonProcess::PoissonProcess(double rate, util::Rng rng)
+    : rate_(rate), rng_(rng) {
+  if (rate <= 0) throw std::invalid_argument("PoissonProcess: rate > 0");
+}
+
+double PoissonProcess::next() {
+  now_ += rng_.exponential(rate_);
+  return now_;
+}
+
+}  // namespace harvest::stats

@@ -1,0 +1,59 @@
+// Workload-shaping distributions: Zipf popularity, alias-method categorical
+// sampling, and Poisson arrival processes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace harvest::stats {
+
+/// Zipf(s) over {0, ..., n-1}: P(i) proportional to 1/(i+1)^s. Uses an exact
+/// precomputed CDF with binary search — O(log n) per sample.
+class Zipf {
+ public:
+  Zipf(std::size_t n, double exponent);
+
+  std::size_t sample(util::Rng& rng) const;
+  double probability(std::size_t i) const;
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Walker alias method: O(1) sampling from a fixed discrete distribution.
+/// Used on hot paths (per-request workload draws).
+class AliasTable {
+ public:
+  explicit AliasTable(std::span<const double> weights);
+
+  std::size_t sample(util::Rng& rng) const;
+  double probability(std::size_t i) const { return prob_normalized_[i]; }
+  std::size_t size() const { return accept_.size(); }
+
+ private:
+  std::vector<double> accept_;          // acceptance threshold per column
+  std::vector<std::size_t> alias_;      // fallback index per column
+  std::vector<double> prob_normalized_; // original normalized weights
+};
+
+/// Homogeneous Poisson arrival process: successive arrival timestamps with
+/// exponential inter-arrival times at `rate` per unit time.
+class PoissonProcess {
+ public:
+  PoissonProcess(double rate, util::Rng rng);
+
+  /// Timestamp of the next arrival (monotone nondecreasing sequence).
+  double next();
+  double rate() const { return rate_; }
+
+ private:
+  double rate_;
+  double now_ = 0;
+  util::Rng rng_;
+};
+
+}  // namespace harvest::stats

@@ -1,0 +1,107 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/string_util.h"
+
+namespace harvest::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins)),
+      bins_(bins, 0) {
+  if (!(hi > lo) || bins == 0) {
+    throw std::invalid_argument("Histogram: need hi > lo and bins > 0");
+  }
+}
+
+void Histogram::add(double x) {
+  ++count_;
+  if (x < lo_) {
+    ++underflow_;
+    ++bins_.front();
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    ++bins_.back();
+    return;
+  }
+  const auto i = static_cast<std::size_t>((x - lo_) / bin_width_);
+  ++bins_[std::min(i, bins_.size() - 1)];
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + bin_width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) throw std::logic_error("Histogram::quantile: empty");
+  if (q < 0 || q > 1) throw std::invalid_argument("quantile: q in [0,1]");
+  const double target = q * static_cast<double>(count_);
+  double cum = 0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const double next = cum + static_cast<double>(bins_[i]);
+    if (next >= target) {
+      const double frac =
+          bins_[i] == 0 ? 0.0
+                        : (target - cum) / static_cast<double>(bins_[i]);
+      return bin_lo(i) + frac * bin_width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::size_t max_bin = 1;
+  for (std::size_t b : bins_) max_bin = std::max(max_bin, b);
+  std::string out;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    out += "[" + util::format_double(bin_lo(i), 3) + ", " +
+           util::format_double(bin_hi(i), 3) + ") ";
+    const std::size_t bar = bins_[i] * width / max_bin;
+    out.append(bar, '#');
+    out += " " + std::to_string(bins_[i]) + "\n";
+  }
+  return out;
+}
+
+LogHistogram::LogHistogram(double base, double growth, std::size_t bins)
+    : base_(base), log_growth_(std::log(growth)), bins_(bins, 0) {
+  if (base <= 0 || growth <= 1 || bins == 0) {
+    throw std::invalid_argument(
+        "LogHistogram: need base > 0, growth > 1, bins > 0");
+  }
+}
+
+void LogHistogram::add(double x) {
+  ++count_;
+  std::size_t i = 0;
+  if (x > base_) {
+    const double raw = std::log(x / base_) / log_growth_;
+    i = std::min(static_cast<std::size_t>(raw), bins_.size() - 1);
+  }
+  ++bins_[i];
+}
+
+double LogHistogram::quantile(double q) const {
+  if (count_ == 0) throw std::logic_error("LogHistogram::quantile: empty");
+  const double target = q * static_cast<double>(count_);
+  double cum = 0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    cum += static_cast<double>(bins_[i]);
+    if (cum >= target) {
+      // Report the bucket's geometric midpoint.
+      const double lo = base_ * std::exp(log_growth_ * static_cast<double>(i));
+      const double hi = lo * std::exp(log_growth_);
+      return std::sqrt(lo * hi);
+    }
+  }
+  return base_ * std::exp(log_growth_ * static_cast<double>(bins_.size()));
+}
+
+}  // namespace harvest::stats

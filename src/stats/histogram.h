@@ -1,0 +1,53 @@
+// Fixed-bin and exponential-bin histograms for latency/reward distributions.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace harvest::stats {
+
+/// Linear-bin histogram over [lo, hi); values outside are clamped into the
+/// first/last bin (under/overflow counts are still reported separately).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  const std::vector<std::size_t>& bins() const { return bins_; }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+
+  /// Approximate quantile assuming uniform density within each bin.
+  double quantile(double q) const;
+
+  /// ASCII rendering for bench output (one line per bin, '#' bars).
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_, bin_width_;
+  std::vector<std::size_t> bins_;
+  std::size_t count_ = 0, underflow_ = 0, overflow_ = 0;
+};
+
+/// Exponentially-bucketed histogram (HdrHistogram-lite) for heavy-tailed
+/// latencies: bucket i covers [base*g^i, base*g^(i+1)).
+class LogHistogram {
+ public:
+  LogHistogram(double base, double growth, std::size_t bins);
+
+  void add(double x);
+  double quantile(double q) const;
+  std::size_t count() const { return count_; }
+
+ private:
+  double base_, log_growth_;
+  std::vector<std::size_t> bins_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace harvest::stats

@@ -1,0 +1,114 @@
+#include "stats/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace harvest::stats {
+
+double quantile(std::span<const double> data, double q) {
+  if (data.empty()) throw std::invalid_argument("quantile: empty data");
+  if (q < 0 || q > 1) throw std::invalid_argument("quantile: q outside [0,1]");
+  std::vector<double> sorted(data.begin(), data.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+std::vector<double> quantiles(std::span<const double> data,
+                              std::span<const double> qs) {
+  if (data.empty()) throw std::invalid_argument("quantiles: empty data");
+  std::vector<double> sorted(data.begin(), data.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (double q : qs) {
+    if (q < 0 || q > 1) {
+      throw std::invalid_argument("quantiles: q outside [0,1]");
+    }
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    out.push_back(sorted[lo] * (1 - frac) + sorted[hi] * frac);
+  }
+  return out;
+}
+
+P2Quantile::P2Quantile(double q) : target_(q) {
+  if (q <= 0 || q >= 1) throw std::invalid_argument("P2Quantile: q in (0,1)");
+  desired_ = {1, 1 + 2 * q, 1 + 4 * q, 3 + 2 * q, 5};
+  increments_ = {0, q / 2, q, (1 + q) / 2, 1};
+}
+
+void P2Quantile::add(double x) {
+  if (count_ < 5) {
+    heights_[count_++] = x;
+    if (count_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+      for (std::size_t i = 0; i < 5; ++i) {
+        positions_[i] = static_cast<double>(i + 1);
+      }
+    }
+    return;
+  }
+  ++count_;
+  std::size_t k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+  for (std::size_t i = k + 1; i < 5; ++i) positions_[i] += 1;
+  for (std::size_t i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double below = positions_[i] - positions_[i - 1];
+    const double above = positions_[i + 1] - positions_[i];
+    if ((d >= 1 && above > 1) || (d <= -1 && below > 1)) {
+      const double sign = d >= 1 ? 1.0 : -1.0;
+      // Piecewise-parabolic prediction; fall back to linear if it would
+      // break monotonicity of the marker heights.
+      const double np = positions_[i] + sign;
+      const double hp =
+          heights_[i] +
+          sign / (positions_[i + 1] - positions_[i - 1]) *
+              ((below + sign) * (heights_[i + 1] - heights_[i]) / above +
+               (above - sign) * (heights_[i] - heights_[i - 1]) / below);
+      if (hp > heights_[i - 1] && hp < heights_[i + 1]) {
+        heights_[i] = hp;
+      } else {
+        const std::size_t j = sign > 0 ? i + 1 : i - 1;
+        heights_[i] += sign * (heights_[j] - heights_[i]) /
+                       (positions_[j] - positions_[i]);
+      }
+      positions_[i] = np;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  if (count_ < 5) {
+    std::array<double, 5> tmp = heights_;
+    std::sort(tmp.begin(), tmp.begin() + static_cast<long>(count_));
+    const double pos = target_ * static_cast<double>(count_ - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, count_ - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return tmp[lo] * (1 - frac) + tmp[hi] * frac;
+  }
+  return heights_[2];
+}
+
+}  // namespace harvest::stats

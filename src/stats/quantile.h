@@ -1,0 +1,41 @@
+// Quantiles: exact (for offline analysis) and P² streaming estimation (for
+// online latency percentiles, e.g. the 99th-percentile reward in Table 1).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace harvest::stats {
+
+/// Exact quantile with linear interpolation (type-7, the numpy default).
+/// `q` in [0,1]. Copies and sorts the data; O(n log n).
+double quantile(std::span<const double> data, double q);
+
+/// Convenience: several quantiles with one sort.
+std::vector<double> quantiles(std::span<const double> data,
+                              std::span<const double> qs);
+
+/// Jain & Chlamtac's P² algorithm: streaming estimate of a single quantile
+/// in O(1) memory. Exact until 5 observations; converges quickly after.
+class P2Quantile {
+ public:
+  /// `q` in (0,1), e.g. 0.99 for p99 latency.
+  explicit P2Quantile(double q);
+
+  void add(double x);
+  /// Current estimate; exact for <= 5 observations, NaN when empty.
+  double value() const;
+  std::size_t count() const { return count_; }
+
+ private:
+  double target_;
+  std::size_t count_ = 0;
+  std::array<double, 5> heights_{};
+  std::array<double, 5> positions_{};
+  std::array<double, 5> desired_{};
+  std::array<double, 5> increments_{};
+};
+
+}  // namespace harvest::stats

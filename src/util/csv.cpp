@@ -1,0 +1,51 @@
+#include "util/csv.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace harvest::util {
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> header)
+    : out_(out), columns_(header.size()) {
+  row(header);
+}
+
+void CsvWriter::write_field(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) {
+    out_ << field;
+    return;
+  }
+  out_ << '"';
+  for (char c : field) {
+    if (c == '"') out_ << '"';
+    out_ << c;
+  }
+  out_ << '"';
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  if (fields.size() != columns_) {
+    throw std::invalid_argument("CsvWriter: row width != header width");
+  }
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    write_field(fields[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row_numeric(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double v : values) {
+    std::ostringstream ss;
+    ss.precision(6);
+    ss << v;
+    fields.push_back(ss.str());
+  }
+  row(fields);
+}
+
+}  // namespace harvest::util

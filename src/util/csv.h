@@ -1,0 +1,33 @@
+// Minimal CSV emission for benchmark series (figures are plotted from these).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace harvest::util {
+
+/// Streams rows of a CSV table to any ostream. Fields containing commas,
+/// quotes, or newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Writes the header immediately. `out` must outlive the writer.
+  CsvWriter(std::ostream& out, std::vector<std::string> header);
+
+  /// Writes one row; pads/truncates nothing — the caller must supply exactly
+  /// as many fields as the header has columns.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats doubles with 6 significant digits.
+  void row_numeric(const std::vector<double>& values);
+
+  std::size_t columns() const { return columns_; }
+
+ private:
+  void write_field(const std::string& field);
+
+  std::ostream& out_;
+  std::size_t columns_;
+};
+
+}  // namespace harvest::util

@@ -1,0 +1,63 @@
+#include "util/flags.h"
+
+#include <stdexcept>
+
+#include "util/string_util.h"
+
+namespace harvest::util {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    const std::string_view body = arg.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string_view::npos) {
+      values_[std::string(body.substr(0, eq))] =
+          std::string(body.substr(eq + 1));
+    } else if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      values_[std::string(body)] = argv[++i];
+    } else {
+      values_[std::string(body)] = "true";  // bare boolean flag
+    }
+  }
+}
+
+bool Flags::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string Flags::get_string(const std::string& name,
+                              const std::string& def) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& name, std::int64_t def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  const auto parsed = parse_int(it->second);
+  if (!parsed) throw std::invalid_argument("flag --" + name + " is not an int");
+  return *parsed;
+}
+
+double Flags::get_double(const std::string& name, double def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  const auto parsed = parse_double(it->second);
+  if (!parsed) {
+    throw std::invalid_argument("flag --" + name + " is not a double");
+  }
+  return *parsed;
+}
+
+bool Flags::get_bool(const std::string& name, bool def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace harvest::util

@@ -1,0 +1,33 @@
+// Tiny command-line flag parser for the bench and example binaries.
+// Accepts --name=value and --name value; everything else is positional.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace harvest::util {
+
+/// Parses argv once; typed getters return the flag value or a default.
+/// Unknown flags are retained (benches share common flags), so there is no
+/// strict validation — `has` lets a binary check for typos it cares about.
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get_string(const std::string& name,
+                         const std::string& def) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace harvest::util

@@ -1,0 +1,20 @@
+// Small, dependency-free hashing utilities (FNV-1a) used for feature hashing
+// and for stable, platform-independent bucketing of log keys.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace harvest::util {
+
+/// 64-bit FNV-1a over a byte string. Stable across platforms and runs, unlike
+/// std::hash, so log files hashed on one machine parse identically elsewhere.
+std::uint64_t fnv1a64(std::string_view bytes);
+
+/// FNV-1a over the little-endian bytes of an integer.
+std::uint64_t fnv1a64(std::uint64_t value);
+
+/// Boost-style combiner for building composite hashes.
+std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value);
+
+}  // namespace harvest::util

@@ -1,0 +1,32 @@
+// String helpers shared by the log parser and the CLI flag parser.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace harvest::util {
+
+/// Splits on a single-character delimiter. Empty fields are preserved;
+/// splitting the empty string yields one empty field.
+std::vector<std::string_view> split(std::string_view s, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Joins pieces with a separator.
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// Strict full-string parses; nullopt on any trailing garbage or overflow.
+std::optional<double> parse_double(std::string_view s);
+std::optional<std::int64_t> parse_int(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// printf-style double formatting with fixed precision (no locale surprises).
+std::string format_double(double value, int precision);
+
+}  // namespace harvest::util

@@ -1,0 +1,30 @@
+// Console table rendering so each bench binary can print the paper's tables
+// (Table 1–3) in an aligned, human-readable form.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace harvest::util {
+
+/// Accumulates rows and renders an aligned ASCII table with a header rule.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience for a label followed by numeric columns.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 3);
+
+  /// Renders with two-space column gutters; header separated by dashes.
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace harvest::util

@@ -1,0 +1,98 @@
+#include "core/bounds.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace harvest::core {
+namespace {
+
+constexpr BoundParams kParams{2.0, 0.05};
+
+TEST(BoundsTest, CbWidthFormula) {
+  // width = sqrt(C/(eps N) * log(K/delta)).
+  const double w = cb_ci_width(1e6, 1e6, 0.04, kParams);
+  const double expected =
+      std::sqrt(2.0 / (0.04 * 1e6) * std::log(1e6 / 0.05));
+  EXPECT_NEAR(w, expected, 1e-12);
+}
+
+TEST(BoundsTest, AbWidthFormula) {
+  const double w = ab_ci_width(1e6, 100, kParams);
+  const double expected =
+      2.0 * std::sqrt(100 / 1e6) * std::log(100 / 0.05);
+  EXPECT_NEAR(w, expected, 1e-12);
+}
+
+TEST(BoundsTest, CbWidthMonotonicity) {
+  // More data, more exploration -> tighter; more policies -> looser.
+  EXPECT_LT(cb_ci_width(2e6, 1e6, 0.04, kParams),
+            cb_ci_width(1e6, 1e6, 0.04, kParams));
+  EXPECT_LT(cb_ci_width(1e6, 1e6, 0.08, kParams),
+            cb_ci_width(1e6, 1e6, 0.04, kParams));
+  EXPECT_GT(cb_ci_width(1e6, 1e9, 0.04, kParams),
+            cb_ci_width(1e6, 1e6, 0.04, kParams));
+}
+
+TEST(BoundsTest, RequiredNInvertsWidth) {
+  const double n = cb_required_n(1e6, 0.04, 0.05, kParams);
+  EXPECT_NEAR(cb_ci_width(n, 1e6, 0.04, kParams), 0.05, 1e-9);
+  const double n_ab = ab_required_n(1e4, 0.05, kParams);
+  EXPECT_NEAR(ab_ci_width(n_ab, 1e4, kParams), 0.05, 1e-9);
+}
+
+TEST(BoundsTest, DoublingEpsilonHalvesRequiredN) {
+  // The §4 insight: "doubling eps from 0.02 to 0.04 halves the data".
+  const double n_low = cb_required_n(1e6, 0.02, 0.05, kParams);
+  const double n_high = cb_required_n(1e6, 0.04, 0.05, kParams);
+  EXPECT_NEAR(n_low / n_high, 2.0, 1e-9);
+}
+
+TEST(BoundsTest, CbExponentiallyMoreEfficientThanAb) {
+  // Fig. 1's claim: at equal N and target error, CB evaluates exponentially
+  // more policies. Equivalently, required N for K policies grows log K for
+  // CB but ~K log^2 K for A/B.
+  const double eps = 0.04;
+  for (double k : {1e2, 1e4, 1e6}) {
+    const double n_cb = cb_required_n(k, eps, 0.05, kParams);
+    const double n_ab = ab_required_n(k, 0.05, kParams);
+    EXPECT_LT(n_cb, n_ab) << "K=" << k;
+  }
+  // The ratio grows with K.
+  const double r4 = ab_required_n(1e4, 0.05, kParams) /
+                    cb_required_n(1e4, 0.04, 0.05, kParams);
+  const double r8 = ab_required_n(1e8, 0.05, kParams) /
+                    cb_required_n(1e8, 0.04, 0.05, kParams);
+  EXPECT_GT(r8, 100 * r4);
+}
+
+TEST(BoundsTest, DiminishingReturns) {
+  // §4: "increasing N from 1.7 to 3.4 million improves accuracy by less
+  // than 0.01" (eps = 0.04, K = 1e6, delta = 0.05).
+  const double w1 = cb_ci_width(1.7e6, 1e6, 0.04, kParams);
+  const double w2 = cb_ci_width(3.4e6, 1e6, 0.04, kParams);
+  EXPECT_LT(w1 - w2, 0.01);
+  EXPECT_GT(w1 - w2, 0.0);
+}
+
+TEST(BoundsTest, MaxPolicyClassSizeInvertsWidth) {
+  const double k = max_policy_class_size(1e6, 0.04, 0.05, kParams);
+  EXPECT_NEAR(cb_ci_width(1e6, k, 0.04, kParams), 0.05, 1e-9);
+  // More logged decisions -> exponentially larger evaluable class.
+  EXPECT_GT(max_policy_class_size(2e6, 0.04, 0.05, kParams), k * k / 10);
+}
+
+TEST(BoundsTest, Validation) {
+  EXPECT_THROW(cb_ci_width(0, 10, 0.1, kParams), std::invalid_argument);
+  EXPECT_THROW(cb_ci_width(10, 0.5, 0.1, kParams), std::invalid_argument);
+  EXPECT_THROW(cb_ci_width(10, 10, 0.0, kParams), std::invalid_argument);
+  EXPECT_THROW(cb_ci_width(10, 10, 1.5, kParams), std::invalid_argument);
+  EXPECT_THROW(cb_required_n(10, 0.1, 0.0, kParams), std::invalid_argument);
+  EXPECT_THROW(ab_ci_width(10, 10, BoundParams{0.0, 0.05}),
+               std::invalid_argument);
+  EXPECT_THROW(ab_ci_width(10, 10, BoundParams{1.0, 1.5}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::core

@@ -1,0 +1,203 @@
+// Exact-value and behavioural tests of the off-policy estimators on
+// hand-computed datasets.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/estimators/direct.h"
+#include "core/estimators/ips.h"
+#include "core/policies/basic.h"
+
+namespace harvest::core {
+namespace {
+
+/// Two-action dataset with known IPS values:
+///  point 0: x=0, a=0, r=1.0, p=0.5
+///  point 1: x=1, a=1, r=0.5, p=0.25
+///  point 2: x=2, a=0, r=0.0, p=0.5
+ExplorationDataset hand_dataset() {
+  ExplorationDataset data(2, RewardRange{0, 1});
+  data.add({FeatureVector{0.0}, 0, 1.0, 0.5});
+  data.add({FeatureVector{1.0}, 1, 0.5, 0.25});
+  data.add({FeatureVector{2.0}, 0, 0.0, 0.5});
+  return data;
+}
+
+TEST(IpsTest, ExactValueForConstantPolicies) {
+  const auto data = hand_dataset();
+  const IpsEstimator ips;
+  // pi = always 0: matches points 0 and 2 -> (1/0.5 + 0 + 0/0.5)/3 = 2/3.
+  const ConstantPolicy pick0(2, 0);
+  EXPECT_NEAR(ips.evaluate(data, pick0).value, 2.0 / 3.0, 1e-12);
+  // pi = always 1: matches point 1 -> (0.5/0.25)/3 = 2/3.
+  const ConstantPolicy pick1(2, 1);
+  EXPECT_NEAR(ips.evaluate(data, pick1).value, 2.0 / 3.0, 1e-12);
+}
+
+TEST(IpsTest, RandomizedCandidateUsesProbabilityWeights) {
+  const auto data = hand_dataset();
+  const IpsEstimator ips;
+  const UniformRandomPolicy uniform(2);
+  // Each point weighted by 0.5/p: (0.5/0.5*1 + 0.5/0.25*0.5 + 0)/3 = 2/3.
+  EXPECT_NEAR(ips.evaluate(data, uniform).value, 2.0 / 3.0, 1e-12);
+}
+
+TEST(IpsTest, MatchedCountsPointsWithPositiveProbability) {
+  const auto data = hand_dataset();
+  const IpsEstimator ips;
+  const ConstantPolicy pick0(2, 0);
+  const Estimate est = ips.evaluate(data, pick0);
+  EXPECT_EQ(est.n, 3u);
+  EXPECT_EQ(est.matched, 2u);
+}
+
+TEST(IpsTest, CiContainsValueAndShrinksWithN) {
+  ExplorationDataset small(2, RewardRange{0, 1});
+  ExplorationDataset large(2, RewardRange{0, 1});
+  util::Rng rng(1);
+  for (int i = 0; i < 4000; ++i) {
+    const ActionId a = rng.bernoulli(0.5) ? 1 : 0;
+    const double r = a == 0 ? 0.8 : 0.2;
+    const ExplorationPoint pt{FeatureVector{0.0}, a, r, 0.5};
+    if (i < 400) small.add(pt);
+    large.add(pt);
+  }
+  const IpsEstimator ips;
+  const ConstantPolicy pick0(2, 0);
+  const auto est_small = ips.evaluate(small, pick0);
+  const auto est_large = ips.evaluate(large, pick0);
+  EXPECT_TRUE(est_small.normal_ci.contains(est_small.value));
+  EXPECT_LT(est_large.normal_ci.width(), est_small.normal_ci.width());
+  EXPECT_LT(est_large.bernstein_ci.width(), est_small.bernstein_ci.width());
+  // Normal CI is asymptotic and narrower than the finite-sample Bernstein.
+  EXPECT_LE(est_large.normal_ci.width(), est_large.bernstein_ci.width());
+}
+
+TEST(IpsTest, RejectsEmptyAndMismatched) {
+  const ExplorationDataset empty(2, RewardRange{0, 1});
+  const IpsEstimator ips;
+  const ConstantPolicy pick0(2, 0);
+  EXPECT_THROW(ips.evaluate(empty, pick0), std::invalid_argument);
+  const auto data = hand_dataset();
+  const ConstantPolicy wrong(3, 0);
+  EXPECT_THROW(ips.evaluate(data, wrong), std::invalid_argument);
+}
+
+TEST(ClippedIpsTest, ClipsLargeWeights) {
+  ExplorationDataset data(2, RewardRange{0, 1});
+  data.add({FeatureVector{0.0}, 0, 1.0, 0.01});  // weight 100 unclipped
+  const ConstantPolicy pick0(2, 0);
+  const ClippedIpsEstimator clipped(10.0);
+  EXPECT_NEAR(clipped.evaluate(data, pick0).value, 10.0, 1e-12);
+  const IpsEstimator ips;
+  EXPECT_NEAR(ips.evaluate(data, pick0).value, 100.0, 1e-12);
+}
+
+TEST(ClippedIpsTest, NoEffectWhenWeightsSmall) {
+  const auto data = hand_dataset();
+  const ConstantPolicy pick0(2, 0);
+  const ClippedIpsEstimator clipped(100.0);
+  const IpsEstimator ips;
+  EXPECT_NEAR(clipped.evaluate(data, pick0).value,
+              ips.evaluate(data, pick0).value, 1e-12);
+}
+
+TEST(SnipsTest, ExactValue) {
+  const auto data = hand_dataset();
+  const SnipsEstimator snips;
+  const ConstantPolicy pick0(2, 0);
+  // weights: 2, 0, 2 -> (2*1 + 2*0)/(2+2) = 0.5.
+  EXPECT_NEAR(snips.evaluate(data, pick0).value, 0.5, 1e-12);
+}
+
+TEST(SnipsTest, BoundedByObservedRewards) {
+  // SNIPS is a convex combination of observed rewards — never outside their
+  // range, unlike IPS.
+  ExplorationDataset data(2, RewardRange{0, 1});
+  util::Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    data.add({FeatureVector{0.0}, rng.bernoulli(0.9) ? 0u : 1u,
+              rng.uniform(0.3, 0.7), rng.bernoulli(0.5) ? 0.9 : 0.1});
+  }
+  const SnipsEstimator snips;
+  const ConstantPolicy pick1(2, 1);
+  const double v = snips.evaluate(data, pick1).value;
+  EXPECT_GE(v, 0.3);
+  EXPECT_LE(v, 0.7);
+}
+
+TEST(SnipsTest, NoOverlapGivesVacuousInterval) {
+  ExplorationDataset data(2, RewardRange{0, 1});
+  data.add({FeatureVector{0.0}, 0, 1.0, 0.5});
+  const SnipsEstimator snips;
+  const ConstantPolicy pick1(2, 1);  // never matches action 0
+  const Estimate est = snips.evaluate(data, pick1);
+  EXPECT_DOUBLE_EQ(est.normal_ci.lo, 0.0);
+  EXPECT_DOUBLE_EQ(est.normal_ci.hi, 1.0);
+  EXPECT_EQ(est.matched, 0u);
+}
+
+/// A reward model that returns a fixed table of predictions.
+class TableModel final : public RewardModel {
+ public:
+  explicit TableModel(std::vector<double> per_action)
+      : per_action_(std::move(per_action)) {}
+  double predict(const FeatureVector&, ActionId a) const override {
+    return per_action_.at(a);
+  }
+  std::size_t num_actions() const override { return per_action_.size(); }
+  std::string name() const override { return "table"; }
+
+ private:
+  std::vector<double> per_action_;
+};
+
+TEST(DirectMethodTest, PluginValue) {
+  const auto data = hand_dataset();
+  auto model = std::make_shared<TableModel>(std::vector<double>{0.7, 0.3});
+  const DirectMethodEstimator dm(model);
+  const ConstantPolicy pick0(2, 0);
+  EXPECT_NEAR(dm.evaluate(data, pick0).value, 0.7, 1e-12);
+  const UniformRandomPolicy uniform(2);
+  EXPECT_NEAR(dm.evaluate(data, uniform).value, 0.5, 1e-12);
+}
+
+TEST(DoublyRobustTest, EqualsDmPlusCorrection) {
+  const auto data = hand_dataset();
+  auto model = std::make_shared<TableModel>(std::vector<double>{0.5, 0.5});
+  const DoublyRobustEstimator dr(model);
+  const ConstantPolicy pick0(2, 0);
+  // DM = 0.5. Corrections: (1-0.5)/0.5 = 1 at pt0; 0 at pt1 (no match);
+  // (0-0.5)/0.5 = -1 at pt2. Mean correction = 0 -> DR = 0.5.
+  EXPECT_NEAR(dr.evaluate(data, pick0).value, 0.5, 1e-12);
+}
+
+TEST(DoublyRobustTest, PerfectModelGivesZeroVarianceCorrection) {
+  // When the model is exactly right, DR's correction terms vanish and its
+  // value equals DM's regardless of propensities.
+  ExplorationDataset data(2, RewardRange{0, 1});
+  util::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const ActionId a = rng.bernoulli(0.2) ? 1 : 0;
+    const double r = a == 0 ? 0.9 : 0.1;
+    data.add({FeatureVector{0.0}, a, r, a == 0 ? 0.8 : 0.2});
+  }
+  auto perfect = std::make_shared<TableModel>(std::vector<double>{0.9, 0.1});
+  const DoublyRobustEstimator dr(perfect);
+  const DirectMethodEstimator dm(perfect);
+  const ConstantPolicy pick1(2, 1);
+  const Estimate dr_est = dr.evaluate(data, pick1);
+  EXPECT_NEAR(dr_est.value, dm.evaluate(data, pick1).value, 1e-12);
+  EXPECT_NEAR(dr_est.stderr_value, 0.0, 1e-12);
+}
+
+TEST(EstimatorNamesAreStable, Names) {
+  EXPECT_EQ(IpsEstimator().name(), "ips");
+  EXPECT_EQ(SnipsEstimator().name(), "snips");
+  auto model = std::make_shared<TableModel>(std::vector<double>{0.0, 0.0});
+  EXPECT_EQ(DirectMethodEstimator(model).name(), "direct-method");
+  EXPECT_EQ(DoublyRobustEstimator(model).name(), "doubly-robust");
+}
+
+}  // namespace
+}  // namespace harvest::core

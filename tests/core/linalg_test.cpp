@@ -1,0 +1,74 @@
+#include "core/linalg.h"
+
+#include <gtest/gtest.h>
+
+namespace harvest::core {
+namespace {
+
+TEST(MatrixTest, IdentityAndAccess) {
+  const Matrix id = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(id.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(id.at(0, 1), 0.0);
+  EXPECT_EQ(id.rows(), 3u);
+  EXPECT_EQ(id.cols(), 3u);
+  EXPECT_THROW(id.at(3, 0), std::out_of_range);
+}
+
+TEST(MatrixTest, AddOuterAccumulates) {
+  Matrix m(2, 2);
+  const std::vector<double> v{1.0, 2.0};
+  m.add_outer(v, 2.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 8.0);
+}
+
+TEST(CholeskyTest, SolvesKnownSystem) {
+  // A = [[4,2],[2,3]], b = [2,1] -> x = [0.5, 0].
+  Matrix a(2, 2);
+  a.at(0, 0) = 4;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 2;
+  a.at(1, 1) = 3;
+  const std::vector<double> b{2, 1};
+  const auto x = cholesky_solve(a, b);
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 0.5, 1e-12);
+  EXPECT_NEAR(x[1], 0.0, 1e-12);
+}
+
+TEST(CholeskyTest, IdentitySolveReturnsB) {
+  const auto x = cholesky_solve(Matrix::identity(4), std::vector<double>{1, 2, 3, 4});
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(x[i], static_cast<double>(i + 1));
+  }
+}
+
+TEST(CholeskyTest, RejectsNonSpd) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 2;
+  a.at(1, 1) = 1;  // eigenvalues 3, -1: not SPD
+  EXPECT_THROW(cholesky_solve(a, std::vector<double>{1, 1}),
+               std::domain_error);
+}
+
+TEST(CholeskyTest, RejectsDimensionMismatch) {
+  EXPECT_THROW(cholesky_solve(Matrix(2, 3), std::vector<double>{1, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(cholesky_solve(Matrix::identity(2), std::vector<double>{1}),
+               std::invalid_argument);
+}
+
+TEST(DotTest, BasicAndMismatch) {
+  const std::vector<double> a{1, 2, 3};
+  const std::vector<double> b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  const std::vector<double> short_v{1};
+  EXPECT_THROW(dot(a, short_v), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::core

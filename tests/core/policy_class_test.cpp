@@ -1,0 +1,83 @@
+#include "core/policy_class.h"
+
+#include <gtest/gtest.h>
+
+#include "core/estimators/ips.h"
+#include "core/policies/basic.h"
+#include "core/policies/greedy.h"
+
+namespace harvest::core {
+namespace {
+
+TEST(StumpPolicyClassTest, SizeAndEnumeration) {
+  const StumpPolicyClass pi(2, 3, 0.0, 1.0, 5);
+  EXPECT_EQ(pi.size(), 3u * 5u * 4u);
+  // Every index materializes and all indices are distinct parameterizations.
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < pi.size(); ++i) {
+    const PolicyPtr p = pi.make(i);
+    ASSERT_NE(p, nullptr);
+    names.insert(p->name());
+  }
+  EXPECT_EQ(names.size(), pi.size());
+  EXPECT_THROW(pi.make(pi.size()), std::out_of_range);
+}
+
+TEST(StumpPolicyClassTest, ContainsConstantPolicies) {
+  // Stumps with below == above are constants; the class must contain the
+  // all-0 and all-1 policies.
+  const StumpPolicyClass pi(2, 1, 0.0, 1.0, 3);
+  bool found_const0 = false, found_const1 = false;
+  for (std::size_t i = 0; i < pi.size(); ++i) {
+    const PolicyPtr p = pi.make(i);
+    const auto* stump = dynamic_cast<const ThresholdPolicy*>(p.get());
+    ASSERT_NE(stump, nullptr);
+    util::Rng rng(0);
+    const ActionId lo = p->act(FeatureVector{-100.0}, rng);
+    const ActionId hi = p->act(FeatureVector{100.0}, rng);
+    if (lo == 0 && hi == 0) found_const0 = true;
+    if (lo == 1 && hi == 1) found_const1 = true;
+  }
+  EXPECT_TRUE(found_const0);
+  EXPECT_TRUE(found_const1);
+}
+
+TEST(SearchPolicyClassTest, FindsPlantedOptimum) {
+  // Environment: action 1 is better iff x >= 0.6. The best stump in a grid
+  // containing 0.6 should be found by IPS search on exploration data.
+  util::Rng rng(7);
+  FullFeedbackDataset env(2, RewardRange{0, 1});
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.uniform();
+    env.add(FullFeedbackPoint{FeatureVector{x},
+                              {x >= 0.6 ? 0.2 : 0.8, x >= 0.6 ? 0.8 : 0.2}});
+  }
+  const UniformRandomPolicy logging(2);
+  const ExplorationDataset exp = env.simulate_exploration(logging, rng);
+
+  const StumpPolicyClass pi(2, 1, 0.0, 1.0, 6);  // grid includes 0.6
+  const IpsEstimator ips;
+  const ClassSearchResult result = search_policy_class(pi, exp, ips);
+  ASSERT_NE(result.best_policy, nullptr);
+
+  const auto* stump =
+      dynamic_cast<const ThresholdPolicy*>(result.best_policy.get());
+  ASSERT_NE(stump, nullptr);
+  EXPECT_NEAR(stump->threshold(), 0.6, 1e-9);
+  // Below threshold choose 0, above choose 1.
+  EXPECT_EQ(stump->choose(FeatureVector{0.1}), 0u);
+  EXPECT_EQ(stump->choose(FeatureVector{0.9}), 1u);
+  // The search's estimate should be near the planted optimum's value (0.8).
+  EXPECT_NEAR(result.best_estimate.value, 0.8, 0.05);
+  EXPECT_LT(result.worst_value, result.best_estimate.value);
+}
+
+TEST(StumpPolicyClassTest, Validation) {
+  EXPECT_THROW(StumpPolicyClass(0, 1, 0, 1, 2), std::invalid_argument);
+  EXPECT_THROW(StumpPolicyClass(2, 0, 0, 1, 2), std::invalid_argument);
+  EXPECT_THROW(StumpPolicyClass(2, 1, 1, 1, 2), std::invalid_argument);
+  EXPECT_THROW(StumpPolicyClass(2, 1, 0, 1, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::core

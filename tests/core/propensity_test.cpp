@@ -1,0 +1,114 @@
+#include "core/propensity.h"
+
+#include <gtest/gtest.h>
+
+#include "core/estimators/ips.h"
+#include "core/policies/basic.h"
+
+namespace harvest::core {
+namespace {
+
+TEST(KnownPropensityTest, ReturnsDeclaredDistribution) {
+  const KnownPropensity known({0.25, 0.75});
+  EXPECT_DOUBLE_EQ(known.propensity(FeatureVector{0.0}, 0), 0.25);
+  EXPECT_DOUBLE_EQ(known.propensity(FeatureVector{0.0}, 1), 0.75);
+  EXPECT_THROW(known.propensity(FeatureVector{0.0}, 2), std::out_of_range);
+}
+
+TEST(KnownPropensityTest, Validation) {
+  EXPECT_THROW(KnownPropensity({}), std::invalid_argument);
+  EXPECT_THROW(KnownPropensity({0.5, 0.6}), std::invalid_argument);
+  EXPECT_THROW(KnownPropensity({1.5, -0.5}), std::invalid_argument);
+}
+
+TEST(EmpiricalPropensityTest, RecoversGlobalMarginal) {
+  // Context-free logging policy choosing action 0 with prob 0.7.
+  util::Rng rng(1);
+  EmpiricalPropensityModel model(2, {});
+  for (int i = 0; i < 20000; ++i) {
+    model.observe(FeatureVector{rng.uniform()}, rng.bernoulli(0.7) ? 0 : 1);
+  }
+  EXPECT_NEAR(model.propensity(FeatureVector{0.5}, 0), 0.7, 0.02);
+  EXPECT_NEAR(model.propensity(FeatureVector{0.5}, 1), 0.3, 0.02);
+}
+
+TEST(EmpiricalPropensityTest, BucketedRecoversContextDependence) {
+  // Logging policy depends on feature 0's sign bucket: p(a=0) is 0.9 for
+  // x < 0 and 0.2 for x >= 0. Bucket on feature 0.
+  util::Rng rng(2);
+  EmpiricalPropensityModel model(2, {0}, 256);
+  for (int i = 0; i < 40000; ++i) {
+    const double x = rng.bernoulli(0.5) ? -1.0 : 1.0;
+    const double p0 = x < 0 ? 0.9 : 0.2;
+    model.observe(FeatureVector{x}, rng.bernoulli(p0) ? 0 : 1);
+  }
+  EXPECT_NEAR(model.propensity(FeatureVector{-1.0}, 0), 0.9, 0.03);
+  EXPECT_NEAR(model.propensity(FeatureVector{1.0}, 0), 0.2, 0.03);
+}
+
+TEST(EmpiricalPropensityTest, SmoothingKeepsPropensitiesPositive) {
+  EmpiricalPropensityModel model(3, {});
+  model.observe(FeatureVector{0.0}, 0);
+  // Actions 1 and 2 never observed but must get positive propensity
+  // (otherwise IPS is undefined).
+  EXPECT_GT(model.propensity(FeatureVector{0.0}, 1), 0.0);
+  EXPECT_GT(model.propensity(FeatureVector{0.0}, 2), 0.0);
+  EXPECT_THROW(EmpiricalPropensityModel(2, {}, 16, 0.0),
+               std::invalid_argument);
+}
+
+TEST(EmpiricalPropensityTest, FitFromDataset) {
+  util::Rng rng(3);
+  ExplorationDataset data(2, RewardRange{0, 1});
+  for (int i = 0; i < 10000; ++i) {
+    const ActionId a = rng.bernoulli(0.25) ? 0 : 1;
+    data.add({FeatureVector{0.0}, a, 0.5, 1.0 /* placeholder */});
+  }
+  EmpiricalPropensityModel model(2, {});
+  model.fit(data);
+  EXPECT_NEAR(model.propensity(FeatureVector{0.0}, 0), 0.25, 0.02);
+}
+
+TEST(AnnotatePropensitiesTest, RewritesOnlyPropensity) {
+  ExplorationDataset data(2, RewardRange{0, 1});
+  data.add({FeatureVector{1.0}, 0, 0.8, 1.0});
+  data.add({FeatureVector{2.0}, 1, 0.2, 1.0});
+  const KnownPropensity known({0.4, 0.6});
+  const ExplorationDataset annotated = annotate_propensities(data, known);
+  ASSERT_EQ(annotated.size(), 2u);
+  EXPECT_DOUBLE_EQ(annotated[0].propensity, 0.4);
+  EXPECT_DOUBLE_EQ(annotated[1].propensity, 0.6);
+  EXPECT_DOUBLE_EQ(annotated[0].reward, 0.8);
+  EXPECT_EQ(annotated[1].action, 1u);
+  EXPECT_DOUBLE_EQ(annotated[1].context[0], 2.0);
+}
+
+TEST(AnnotatePropensitiesTest, EndToEndIpsWithInferredPropensities) {
+  // Inferring propensities from a context-free logging policy and running
+  // IPS should match IPS with the true propensities.
+  util::Rng rng(4);
+  FullFeedbackDataset env(2, RewardRange{0, 1});
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.uniform();
+    env.add(FullFeedbackPoint{FeatureVector{x}, {x, 1 - x}});
+  }
+  auto logging = std::make_shared<KnownPropensity>(
+      std::vector<double>{0.3, 0.7});
+  // Simulate logging without recording p (placeholder 1.0), then infer.
+  ExplorationDataset raw(2, RewardRange{0, 1});
+  for (const auto& pt : env.points()) {
+    const ActionId a = rng.bernoulli(0.3) ? 0 : 1;
+    raw.add({pt.context, a, pt.rewards[a], 1.0});
+  }
+  EmpiricalPropensityModel inferred(2, {});
+  inferred.fit(raw);
+  const ExplorationDataset annotated = annotate_propensities(raw, inferred);
+
+  const IpsEstimator ips;
+  const ConstantPolicy pick0(2, 0);
+  const double truth = env.true_value(pick0);
+  EXPECT_NEAR(ips.evaluate(annotated, pick0).value, truth, 0.05);
+}
+
+}  // namespace
+}  // namespace harvest::core

@@ -1,0 +1,124 @@
+#include "core/train/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/policies/basic.h"
+
+namespace harvest::core {
+namespace {
+
+/// Environment where the best action flips with the context: action 0 is
+/// best for x > 0.5, action 1 otherwise. Linear rewards, so the ridge
+/// learners can represent the truth exactly.
+FullFeedbackDataset crossover_env(std::size_t n, util::Rng& rng,
+                                  double noise = 0.0) {
+  FullFeedbackDataset data(2, RewardRange{0, 1});
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.uniform();
+    const double eps0 = noise > 0 ? rng.normal(0, noise) : 0.0;
+    const double eps1 = noise > 0 ? rng.normal(0, noise) : 0.0;
+    data.add(FullFeedbackPoint{
+        FeatureVector{x},
+        {std::clamp(0.2 + 0.6 * x + eps0, 0.0, 1.0),
+         std::clamp(0.8 - 0.6 * x + eps1, 0.0, 1.0)}});
+  }
+  return data;
+}
+
+TEST(SupervisedTrainerTest, NearOptimalOnLinearEnvironment) {
+  util::Rng rng(1);
+  const FullFeedbackDataset train = crossover_env(3000, rng);
+  const FullFeedbackDataset test = crossover_env(3000, rng);
+  const PolicyPtr policy = train_supervised_policy(train, {});
+  EXPECT_GT(test.true_value(*policy), 0.98 * test.best_value());
+}
+
+TEST(CbTrainerTest, LearnsFromExplorationData) {
+  util::Rng rng(2);
+  const FullFeedbackDataset env = crossover_env(8000, rng, 0.05);
+  const FullFeedbackDataset test = crossover_env(3000, rng, 0.05);
+  const UniformRandomPolicy logging(2);
+  const ExplorationDataset exploration =
+      env.simulate_exploration(logging, rng);
+  const PolicyPtr cb = train_cb_policy(exploration, {});
+  const double cb_value = test.true_value(*cb);
+  // Beats both constants and random, approaches the skyline.
+  EXPECT_GT(cb_value, test.true_value(ConstantPolicy(2, 0)));
+  EXPECT_GT(cb_value, test.true_value(ConstantPolicy(2, 1)));
+  EXPECT_GT(cb_value, test.true_value(UniformRandomPolicy(2)));
+  EXPECT_GT(cb_value, 0.95 * test.best_value());
+}
+
+TEST(CbTrainerTest, MoreDataMonotonicallyBetterOnAverage) {
+  util::Rng rng(3);
+  const FullFeedbackDataset env = crossover_env(10000, rng, 0.1);
+  const FullFeedbackDataset test = crossover_env(4000, rng, 0.1);
+  const UniformRandomPolicy logging(2);
+  double v_small_sum = 0, v_large_sum = 0;
+  for (int rep = 0; rep < 5; ++rep) {
+    const ExplorationDataset exp = env.simulate_exploration(logging, rng);
+    v_small_sum += test.true_value(*train_cb_policy(exp.prefix(100), {}));
+    v_large_sum += test.true_value(*train_cb_policy(exp.prefix(8000), {}));
+  }
+  EXPECT_GE(v_large_sum, v_small_sum);
+}
+
+TEST(CbTrainerTest, WithModelExposesConsistentModel) {
+  util::Rng rng(4);
+  const FullFeedbackDataset env = crossover_env(5000, rng);
+  const UniformRandomPolicy logging(2);
+  const ExplorationDataset exp = env.simulate_exploration(logging, rng);
+  const auto [policy, model] = train_cb_policy_with_model(exp, {});
+  // Greedy choice must equal the model argmax.
+  for (double x : {0.1, 0.5, 0.9}) {
+    const FeatureVector ctx{x};
+    const ActionId greedy =
+        model->predict(ctx, 0) >= model->predict(ctx, 1) ? 0 : 1;
+    util::Rng tmp(0);
+    EXPECT_EQ(policy->act(ctx, tmp), greedy) << "x=" << x;
+  }
+}
+
+TEST(EpochGreedyTest, ImprovesWithInteraction) {
+  util::Rng rng(5);
+  const FullFeedbackDataset env = crossover_env(20000, rng, 0.05);
+  EpochGreedyTrainer::Config config;
+  config.explore_fraction = 0.2;
+  config.learning_rate = 0.5;
+  EpochGreedyTrainer trainer(2, 1, config);
+
+  // Interact online with the environment.
+  for (const auto& pt : env.points()) {
+    const ActionId a = trainer.step(pt.context, rng);
+    trainer.learn(pt.context, a, pt.rewards[a]);
+  }
+  EXPECT_GT(trainer.explore_steps(), 0u);
+  EXPECT_GT(trainer.exploit_steps(), trainer.explore_steps());
+
+  const FullFeedbackDataset test = crossover_env(3000, rng, 0.05);
+  const PolicyPtr snapshot = trainer.snapshot();
+  EXPECT_GT(test.true_value(*snapshot), 0.9 * test.best_value());
+}
+
+TEST(EpochGreedyTest, PropensityAccounting) {
+  EpochGreedyTrainer::Config config;
+  config.explore_fraction = 0.5;
+  EpochGreedyTrainer trainer(4, 1, config);
+  util::Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    trainer.step(FeatureVector{0.0}, rng);
+    const double p = trainer.last_propensity();
+    // Either exploring (0.5/4) or exploiting (0.5 + 0.125).
+    EXPECT_TRUE(std::abs(p - 0.125) < 1e-12 || std::abs(p - 0.625) < 1e-12);
+  }
+}
+
+TEST(EpochGreedyTest, Validation) {
+  EXPECT_THROW(EpochGreedyTrainer(0, 1, {}), std::invalid_argument);
+  EpochGreedyTrainer::Config bad;
+  bad.explore_fraction = 0.0;
+  EXPECT_THROW(EpochGreedyTrainer(2, 1, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::core

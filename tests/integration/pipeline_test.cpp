@@ -1,0 +1,214 @@
+// End-to-end tests of the 3-step harvesting pipeline on synthetic logs.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "harvest/harvest.h"
+
+namespace harvest::pipeline {
+namespace {
+
+/// A synthetic production log: 2 actions, context-free logging policy with
+/// p(a=0) = 0.7, reward depends on (context, action).
+logs::LogStore make_log(std::size_t n, util::Rng& rng) {
+  logs::LogStore log;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.uniform();
+    const core::ActionId a = rng.bernoulli(0.7) ? 0 : 1;
+    const double r = (a == 0 ? x : 1.0 - x) + rng.normal(0, 0.02);
+    logs::Record rec;
+    rec.time = static_cast<double>(i);
+    rec.event = "decide";
+    rec.set("x", x);
+    rec.set("a", static_cast<std::int64_t>(a));
+    rec.set("r", r);
+    log.append(std::move(rec));
+  }
+  return log;
+}
+
+PipelineConfig make_config() {
+  PipelineConfig config;
+  config.spec.decision_event = "decide";
+  config.spec.context_fields = {"x"};
+  config.spec.action_field = "a";
+  config.spec.reward_field = "r";
+  config.spec.num_actions = 2;
+  config.spec.reward_range = {-0.2, 1.2};
+  config.spec.reward_transform = [](double r) { return r; };
+  config.inference = std::make_shared<core::EmpiricalPropensityModel>(
+      2, std::vector<std::size_t>{});
+  config.estimator = std::make_shared<core::IpsEstimator>();
+  return config;
+}
+
+TEST(PipelineTest, EvaluateCandidatesEndToEnd) {
+  util::Rng rng(1);
+  const logs::LogStore log = make_log(20000, rng);
+  const PipelineConfig config = make_config();
+
+  std::vector<core::PolicyPtr> candidates{
+      std::make_shared<core::ConstantPolicy>(2, 0),
+      std::make_shared<core::ConstantPolicy>(2, 1),
+      std::make_shared<core::FunctionPolicy>(
+          2, [](const core::FeatureVector& x) { return x[0] > 0.5 ? 0u : 1u; },
+          "oracle"),
+  };
+
+  core::ExplorationDataset harvested(1, {});
+  const HarvestReport report =
+      evaluate_candidates(log.roundtrip(), config, candidates, &harvested);
+
+  EXPECT_EQ(report.decisions_harvested, 20000u);
+  EXPECT_EQ(report.decisions_dropped, 0u);
+  EXPECT_EQ(harvested.size(), 20000u);
+  // Inferred propensities near (0.7, 0.3).
+  EXPECT_NEAR(report.min_propensity, 0.3, 0.02);
+
+  ASSERT_EQ(report.candidates.size(), 3u);
+  // True values: const-0 -> 0.5, const-1 -> 0.5, oracle -> 0.75.
+  EXPECT_NEAR(report.candidates[0].estimate.value, 0.5, 0.05);
+  EXPECT_NEAR(report.candidates[1].estimate.value, 0.5, 0.05);
+  EXPECT_NEAR(report.candidates[2].estimate.value, 0.75, 0.05);
+  // The oracle wins offline, with a separating interval.
+  EXPECT_GT(report.candidates[2].estimate.normal_ci.lo,
+            report.candidates[0].estimate.normal_ci.hi);
+  EXPECT_GT(report.eq1_width, 0.0);
+  EXPECT_GT(report.max_class_size, 0.0);
+}
+
+TEST(PipelineTest, OptimizePolicyLearnsTheOracleShape) {
+  util::Rng rng(2);
+  const logs::LogStore log = make_log(20000, rng);
+  const core::PolicyPtr learned =
+      optimize_policy(log.roundtrip(), make_config());
+  // The learned greedy policy should pick action 0 for high x, 1 for low x.
+  util::Rng tmp(0);
+  EXPECT_EQ(learned->act(core::FeatureVector{0.9}, tmp), 0u);
+  EXPECT_EQ(learned->act(core::FeatureVector{0.1}, tmp), 1u);
+}
+
+TEST(PipelineTest, MissingEstimatorThrows) {
+  util::Rng rng(3);
+  const logs::LogStore log = make_log(100, rng);
+  PipelineConfig config = make_config();
+  config.estimator = nullptr;
+  EXPECT_THROW(evaluate_candidates(log, config, {}), std::invalid_argument);
+}
+
+TEST(PipelineTest, EmptyLogThrows) {
+  const logs::LogStore log;
+  EXPECT_THROW(evaluate_candidates(log, make_config(), {}),
+               std::runtime_error);
+}
+
+// ---- Scenario-level shape assertions at reduced scale (fast ctest). ----
+
+TEST(ScenarioShapeTest, LoadBalancingOpeBreaksForSendTo1) {
+  lb::LbConfig config = lb::fig5_config();
+  config.num_requests = 8000;
+  config.warmup_requests = 1000;
+  util::Rng rng(4);
+  lb::RandomRouter logging(2);
+  const lb::LbResult logged = lb::run_lb(config, logging, rng);
+
+  const core::IpsEstimator ips;
+  const core::ConstantPolicy send1(2, 0);
+  const double offline = lb::reward_to_latency(
+      ips.evaluate(logged.exploration, send1).value, config.latency_cap);
+
+  lb::SendToRouter send1_router(2, 0);
+  util::Rng rng2(4);
+  const double online = lb::run_lb(config, send1_router, rng2).mean_latency;
+
+  // The paper's inversion: offline says "great", online is much worse.
+  EXPECT_LT(offline, logged.mean_latency);
+  EXPECT_GT(online, 1.3 * offline);
+}
+
+TEST(ScenarioShapeTest, LoadBalancingCbBeatsLeastLoadedOnline) {
+  lb::LbConfig config = lb::fig5_config();
+  config.num_requests = 15000;
+  config.warmup_requests = 2000;
+  util::Rng rng(5);
+  lb::RandomRouter logging(2);
+  const lb::LbResult logged = lb::run_lb(config, logging, rng);
+  const core::PolicyPtr cb = core::train_cb_policy(logged.exploration, {});
+
+  lb::CbRouter cb_router(cb);
+  util::Rng rng2(6);
+  const double online_cb = lb::run_lb(config, cb_router, rng2).mean_latency;
+  lb::LeastLoadedRouter ll(2);
+  util::Rng rng3(6);
+  const double online_ll = lb::run_lb(config, ll, rng3).mean_latency;
+  EXPECT_LT(online_cb, online_ll);
+}
+
+TEST(ScenarioShapeTest, CachingOnlySizeAwarePolicyBeatsRandom) {
+  cache::BigSmallWorkload workload({});
+  cache::CacheConfig config = cache::table3_config(workload);
+  config.num_requests = 60000;
+  config.warmup_requests = 10000;
+  config.keep_log = false;
+
+  auto hitrate = [&](cache::Evictor& evictor, std::uint64_t seed) {
+    util::Rng rng(seed);
+    return cache::run_cache(config, workload, evictor, rng).hit_rate;
+  };
+  cache::RandomEvictor random_evictor;
+  cache::LruEvictor lru;
+  cache::FreqSizeEvictor fs;
+  const double hr_random = hitrate(random_evictor, 7);
+  const double hr_lru = hitrate(lru, 7);
+  const double hr_fs = hitrate(fs, 7);
+
+  EXPECT_NEAR(hr_lru, hr_random, 0.04);   // LRU ~ random
+  EXPECT_GT(hr_fs, hr_random + 0.03);     // size-aware wins clearly
+}
+
+TEST(ScenarioShapeTest, HealthIpsErrorShrinksWithN) {
+  const health::Fleet fleet((health::FleetConfig()));
+  util::Rng rng(8);
+  const core::FullFeedbackDataset pool = fleet.generate_dataset(6000, rng);
+  const core::UniformRandomPolicy logging(9);
+  const core::ExplorationDataset train_exp =
+      pool.simulate_exploration(logging, rng);
+  const core::PolicyPtr policy = core::train_cb_policy(train_exp, {});
+  const double truth = pool.true_value(*policy);
+
+  const core::IpsEstimator ips;
+  auto mean_abs_error = [&](std::size_t n, std::size_t reps) {
+    double total = 0;
+    for (std::size_t r = 0; r < reps; ++r) {
+      core::FullFeedbackDataset subset(pool.num_actions(),
+                                       pool.reward_range());
+      for (std::size_t i = 0; i < n; ++i) {
+        subset.add(pool[rng.uniform_index(pool.size())]);
+      }
+      const core::ExplorationDataset exp =
+          subset.simulate_exploration(logging, rng);
+      total += std::abs(ips.evaluate(exp, *policy).value - truth);
+    }
+    return total / static_cast<double>(reps);
+  };
+  EXPECT_LT(mean_abs_error(4000, 30), mean_abs_error(250, 30));
+}
+
+TEST(ScenarioShapeTest, HealthCbApproachesSupervisedSkyline) {
+  const health::Fleet fleet((health::FleetConfig()));
+  util::Rng rng(9);
+  const core::FullFeedbackDataset pool = fleet.generate_dataset(12000, rng);
+  const core::FullFeedbackDataset test = fleet.generate_dataset(4000, rng);
+  const core::PolicyPtr supervised = core::train_supervised_policy(pool, {});
+  const double skyline = test.true_value(*supervised);
+
+  const core::UniformRandomPolicy logging(9);
+  const core::ExplorationDataset exp =
+      pool.simulate_exploration(logging, rng);
+  const core::PolicyPtr cb = core::train_cb_policy(exp, {});
+  // Fig. 4 shape: CB with 12k exploration points sits close to the skyline.
+  EXPECT_GT(test.true_value(*cb), 0.93 * skyline);
+}
+
+}  // namespace
+}  // namespace harvest::pipeline

@@ -1,0 +1,68 @@
+#include "stats/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace harvest::stats {
+namespace {
+
+TEST(BootstrapTest, MeanIntervalContainsSampleMean) {
+  util::Rng rng(3);
+  std::vector<double> values;
+  double sum = 0;
+  for (int i = 0; i < 500; ++i) {
+    values.push_back(rng.normal(2.0, 1.0));
+    sum += values.back();
+  }
+  const double mean = sum / 500;
+  const Interval ci = bootstrap_mean_interval(values, 500, 0.05, rng);
+  EXPECT_TRUE(ci.contains(mean));
+  // Width should be ~ 2*1.96*sigma/sqrt(n) ~ 0.175.
+  EXPECT_NEAR(ci.width(), 0.175, 0.06);
+}
+
+TEST(BootstrapTest, ReplicateCountRespected) {
+  util::Rng rng(4);
+  std::vector<double> values{1, 2, 3, 4, 5};
+  const IndexStatistic stat = [&](std::span<const std::size_t> idx) {
+    double s = 0;
+    for (std::size_t i : idx) s += values[i];
+    return s / static_cast<double>(idx.size());
+  };
+  const auto reps = bootstrap_replicates(values.size(), stat, 123, rng);
+  EXPECT_EQ(reps.size(), 123u);
+}
+
+TEST(BootstrapTest, DegenerateDataGivesPointInterval) {
+  util::Rng rng(5);
+  const std::vector<double> values(50, 7.0);
+  const Interval ci = bootstrap_mean_interval(values, 200, 0.05, rng);
+  EXPECT_DOUBLE_EQ(ci.lo, 7.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 7.0);
+}
+
+TEST(BootstrapTest, RejectsEmptyInput) {
+  util::Rng rng(6);
+  const IndexStatistic stat = [](std::span<const std::size_t>) { return 0.0; };
+  EXPECT_THROW(bootstrap_replicates(0, stat, 10, rng), std::invalid_argument);
+  EXPECT_THROW(bootstrap_replicates(10, stat, 0, rng), std::invalid_argument);
+}
+
+TEST(BootstrapTest, IndexStatisticSeesResampledIndices) {
+  util::Rng rng(7);
+  bool saw_duplicate = false;
+  const IndexStatistic stat = [&](std::span<const std::size_t> idx) {
+    std::vector<bool> seen(idx.size(), false);
+    for (std::size_t i : idx) {
+      if (seen[i]) saw_duplicate = true;
+      seen[i] = true;
+    }
+    return 0.0;
+  };
+  bootstrap_replicates(100, stat, 50, rng);
+  EXPECT_TRUE(saw_duplicate);  // with-replacement sampling
+}
+
+}  // namespace
+}  // namespace harvest::stats

@@ -1,0 +1,91 @@
+#include "stats/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace harvest::stats {
+namespace {
+
+TEST(ZipfTest, ProbabilitiesSumToOneAndDecay) {
+  const Zipf zipf(100, 1.0);
+  double total = 0;
+  for (std::size_t i = 0; i < 100; ++i) total += zipf.probability(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(zipf.probability(0), zipf.probability(1));
+  EXPECT_GT(zipf.probability(1), zipf.probability(50));
+  EXPECT_NEAR(zipf.probability(0) / zipf.probability(1), 2.0, 1e-9);
+}
+
+TEST(ZipfTest, EmpiricalFrequenciesMatch) {
+  const Zipf zipf(10, 1.2);
+  util::Rng rng(8);
+  std::vector<int> counts(10, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.sample(rng)];
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(counts[i] / static_cast<double>(n), zipf.probability(i),
+                0.01)
+        << "i=" << i;
+  }
+}
+
+TEST(ZipfTest, ExponentZeroIsUniform) {
+  const Zipf zipf(4, 0.0);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(zipf.probability(i), 0.25, 1e-9);
+  }
+}
+
+TEST(AliasTableTest, MatchesWeights) {
+  const std::vector<double> weights{5.0, 1.0, 0.0, 4.0};
+  const AliasTable table(weights);
+  util::Rng rng(9);
+  std::vector<int> counts(4, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[table.sample(rng)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.5, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.4, 0.01);
+}
+
+TEST(AliasTableTest, NormalizedProbabilitiesExposed) {
+  const std::vector<double> weights{2.0, 2.0, 4.0};
+  const AliasTable table(weights);
+  EXPECT_NEAR(table.probability(0), 0.25, 1e-12);
+  EXPECT_NEAR(table.probability(2), 0.5, 1e-12);
+}
+
+TEST(AliasTableTest, RejectsDegenerateWeights) {
+  EXPECT_THROW(AliasTable(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(AliasTable(std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(AliasTable(std::vector<double>{1.0, -1.0}),
+               std::invalid_argument);
+}
+
+TEST(PoissonProcessTest, MonotoneTimestampsAtExpectedRate) {
+  util::Rng rng(10);
+  PoissonProcess process(50.0, rng.split());
+  double prev = 0;
+  double last = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double t = process.next();
+    EXPECT_GT(t, prev);
+    prev = t;
+    last = t;
+  }
+  // n arrivals should take about n/rate seconds.
+  EXPECT_NEAR(last, n / 50.0, n / 50.0 * 0.05);
+}
+
+TEST(PoissonProcessTest, RejectsNonPositiveRate) {
+  util::Rng rng(11);
+  EXPECT_THROW(PoissonProcess(0.0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::stats

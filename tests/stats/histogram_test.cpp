@@ -1,0 +1,91 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/quantile.h"
+#include "util/rng.h"
+
+namespace harvest::stats {
+namespace {
+
+TEST(HistogramTest, BinAssignment) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.99);
+  h.add(5.0);
+  EXPECT_EQ(h.bins()[0], 1u);
+  EXPECT_EQ(h.bins()[9], 1u);
+  EXPECT_EQ(h.bins()[5], 1u);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(HistogramTest, UnderOverflowClampedButCounted) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(2.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bins().front(), 1u);
+  EXPECT_EQ(h.bins().back(), 1u);
+}
+
+TEST(HistogramTest, QuantileApproximatesExact) {
+  util::Rng rng(5);
+  Histogram h(0.0, 1.0, 200);
+  std::vector<double> all;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.uniform();
+    h.add(x);
+    all.push_back(x);
+  }
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(h.quantile(q), quantile(all, q), 0.02) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, BinEdges) {
+  Histogram h(2.0, 4.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 3.5);
+}
+
+TEST(HistogramTest, RenderContainsCounts) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.25);
+  h.add(0.25);
+  h.add(0.75);
+  const std::string text = h.render(10);
+  EXPECT_NE(text.find(" 2"), std::string::npos);
+  EXPECT_NE(text.find(" 1"), std::string::npos);
+}
+
+TEST(HistogramTest, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(LogHistogramTest, QuantileOnHeavyTail) {
+  util::Rng rng(6);
+  LogHistogram h(0.001, 1.3, 64);
+  std::vector<double> all;
+  for (int i = 0; i < 30000; ++i) {
+    const double x = rng.exponential(1.0) * 0.1;
+    h.add(x);
+    all.push_back(x);
+  }
+  // Geometric-bucket resolution: within ~35% relative error is expected.
+  for (double q : {0.5, 0.9, 0.99}) {
+    const double exact = quantile(all, q);
+    EXPECT_NEAR(h.quantile(q) / exact, 1.0, 0.35) << "q=" << q;
+  }
+}
+
+TEST(LogHistogramTest, RejectsBadConstruction) {
+  EXPECT_THROW(LogHistogram(0.0, 2.0, 8), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(1.0, 1.0, 8), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(1.0, 2.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::stats

@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace harvest::util {
+namespace {
+
+TEST(CsvWriterTest, HeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"n", "value"});
+  csv.row({"10", "0.5"});
+  csv.row_numeric({20, 0.25});
+  EXPECT_EQ(out.str(), "n,value\n10,0.5\n20,0.25\n");
+}
+
+TEST(CsvWriterTest, QuotesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"a"});
+  csv.row({"hello, world"});
+  csv.row({"say \"hi\""});
+  EXPECT_EQ(out.str(), "a\n\"hello, world\"\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvWriterTest, RejectsWrongWidth) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"a", "b"});
+  EXPECT_THROW(csv.row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TableTest, AlignsColumns) {
+  Table table({"Policy", "Value"});
+  table.add_row({"random", "0.44"});
+  table.add_row({"least-loaded-very-long", "0.36"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("Policy"), std::string::npos);
+  EXPECT_NE(text.find("least-loaded-very-long"), std::string::npos);
+  // Header separator exists.
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(TableTest, NumericRowFormatting) {
+  Table table({"name", "x", "y"});
+  table.add_row("row", {1.23456, 7.0}, 2);
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_NE(out.str().find("1.23"), std::string::npos);
+  EXPECT_NE(out.str().find("7.00"), std::string::npos);
+}
+
+TEST(TableTest, RejectsRaggedRow) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::util

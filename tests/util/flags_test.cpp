@@ -1,0 +1,55 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace harvest::util {
+namespace {
+
+Flags make_flags(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Flags(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  const auto flags = make_flags({"--n=100", "--rate=3.5", "--name=test"});
+  EXPECT_EQ(flags.get_int("n", 0), 100);
+  EXPECT_EQ(flags.get_double("rate", 0), 3.5);
+  EXPECT_EQ(flags.get_string("name", ""), "test");
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  const auto flags = make_flags({"--n", "7", "--label", "x"});
+  EXPECT_EQ(flags.get_int("n", 0), 7);
+  EXPECT_EQ(flags.get_string("label", ""), "x");
+}
+
+TEST(FlagsTest, BareBooleanFlag) {
+  const auto flags = make_flags({"--verbose", "--quick=false"});
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+  EXPECT_FALSE(flags.get_bool("quick", true));
+  EXPECT_TRUE(flags.get_bool("absent", true));
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  const auto flags = make_flags({});
+  EXPECT_EQ(flags.get_int("n", 42), 42);
+  EXPECT_EQ(flags.get_double("x", 1.5), 1.5);
+  EXPECT_EQ(flags.get_string("s", "d"), "d");
+  EXPECT_FALSE(flags.has("n"));
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  const auto flags = make_flags({"input.log", "--n=1", "output.csv"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.log");
+  EXPECT_EQ(flags.positional()[1], "output.csv");
+}
+
+TEST(FlagsTest, ThrowsOnTypeMismatch) {
+  const auto flags = make_flags({"--n=abc"});
+  EXPECT_THROW(flags.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(flags.get_double("n", 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::util

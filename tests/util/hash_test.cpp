@@ -1,0 +1,36 @@
+#include "util/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace harvest::util {
+namespace {
+
+TEST(HashTest, Fnv1a64KnownVectors) {
+  // Published FNV-1a test vectors.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(HashTest, StableAcrossCalls) {
+  EXPECT_EQ(fnv1a64("harvest"), fnv1a64(std::string("harvest")));
+  EXPECT_EQ(fnv1a64(std::uint64_t{12345}), fnv1a64(std::uint64_t{12345}));
+}
+
+TEST(HashTest, IntegerHashDiffersFromNeighbour) {
+  std::set<std::uint64_t> hashes;
+  for (std::uint64_t i = 0; i < 1000; ++i) hashes.insert(fnv1a64(i));
+  EXPECT_EQ(hashes.size(), 1000u);  // no collisions on a small dense range
+}
+
+TEST(HashTest, HashCombineOrderSensitive) {
+  const auto ab = hash_combine(fnv1a64("a"), fnv1a64("b"));
+  const auto ba = hash_combine(fnv1a64("b"), fnv1a64("a"));
+  EXPECT_NE(ab, ba);
+}
+
+}  // namespace
+}  // namespace harvest::util

@@ -1,0 +1,73 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace harvest::util {
+namespace {
+
+TEST(StringUtilTest, SplitBasic) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtilTest, SplitPreservesEmptyFields) {
+  const auto parts = split(",x,,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, SplitEmptyStringYieldsOneField) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(trim("  x y \t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(StringUtilTest, ParseDoubleStrict) {
+  EXPECT_EQ(parse_double("3.5"), 3.5);
+  EXPECT_EQ(parse_double(" -2e3 "), -2000.0);
+  EXPECT_FALSE(parse_double("3.5x"));
+  EXPECT_FALSE(parse_double(""));
+  EXPECT_FALSE(parse_double("abc"));
+}
+
+TEST(StringUtilTest, ParseIntStrict) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int("-7"), -7);
+  EXPECT_FALSE(parse_int("4.2"));
+  EXPECT_FALSE(parse_int("12abc"));
+  EXPECT_FALSE(parse_int(""));
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-", "--"));
+  EXPECT_TRUE(starts_with("anything", ""));
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-0.5, 3), "-0.500");
+  EXPECT_EQ(format_double(100.0, 0), "100");
+}
+
+}  // namespace
+}  // namespace harvest::util

@@ -1,0 +1,161 @@
+// harvest_inspect — command-line harvesting of a text log file.
+//
+// Point it at any log in the key=value record format and it will:
+//   1. parse the file (reporting torn/malformed lines),
+//   2. scavenge ⟨context, action, reward⟩ tuples per your field spec,
+//   3. infer propensities from the action frequencies (step 2),
+//   4. report the harvested exploration quality: min propensity, Eq. 1
+//      optimization potential, per-action estimates, and the offline value
+//      of a CB policy trained on half the data and IPS-evaluated on the
+//      other half.
+//
+// Usage:
+//   harvest_inspect <logfile> --event decide --context x,y --action a
+//                   --reward r --actions 3 [--reward-lo 0 --reward-hi 1]
+//   harvest_inspect --selftest        # generate and process a demo log
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+
+#include "harvest/harvest.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace harvest;
+
+int usage() {
+  std::cerr
+      << "usage: harvest_inspect <logfile> --event EV --context F1,F2,...\n"
+         "                       --action FIELD --reward FIELD --actions N\n"
+         "                       [--reward-lo X] [--reward-hi Y]\n"
+         "       harvest_inspect --selftest\n";
+  return 2;
+}
+
+/// Writes a demo log (a randomized 3-action system) to a stringstream.
+std::string make_demo_log() {
+  util::Rng rng(123);
+  logs::LogStore log;
+  for (int i = 0; i < 4000; ++i) {
+    const double load = rng.uniform(0.0, 10.0);
+    const auto action = static_cast<core::ActionId>(rng.uniform_index(3));
+    const double reward =
+        0.5 + 0.04 * static_cast<double>(action) * (load - 5.0) +
+        rng.normal(0.0, 0.05);
+    logs::Record rec;
+    rec.time = i * 0.5;
+    rec.event = "decide";
+    rec.set("load", load);
+    rec.set("choice", static_cast<std::int64_t>(action));
+    rec.set("reward", reward);
+    log.append(std::move(rec));
+  }
+  std::ostringstream out;
+  log.write_text(out);
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+
+  std::string text;
+  logs::ScavengeSpec spec;
+  spec.reward_range = {flags.get_double("reward-lo", 0.0),
+                       flags.get_double("reward-hi", 1.0)};
+  spec.reward_transform = [](double r) { return r; };
+
+  if (flags.get_bool("selftest", false)) {
+    text = make_demo_log();
+    spec.decision_event = "decide";
+    spec.context_fields = {"load"};
+    spec.action_field = "choice";
+    spec.reward_field = "reward";
+    spec.num_actions = 3;
+    spec.reward_range = {-0.5, 1.5};
+  } else {
+    if (flags.positional().empty() || !flags.has("event") ||
+        !flags.has("context") || !flags.has("action") ||
+        !flags.has("reward") || !flags.has("actions")) {
+      return usage();
+    }
+    std::ifstream file(flags.positional().front());
+    if (!file) {
+      std::cerr << "cannot open " << flags.positional().front() << "\n";
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    text = buffer.str();
+    spec.decision_event = flags.get_string("event", "");
+    for (const auto piece :
+         util::split(flags.get_string("context", ""), ',')) {
+      spec.context_fields.emplace_back(util::trim(piece));
+    }
+    spec.action_field = flags.get_string("action", "");
+    spec.reward_field = flags.get_string("reward", "");
+    spec.num_actions = static_cast<std::size_t>(flags.get_int("actions", 0));
+  }
+
+  // Step 0: parse.
+  std::istringstream stream(text);
+  const auto [log, skipped] = logs::LogStore::read_text(stream);
+  std::cout << "parsed " << log.size() << " records (" << skipped
+            << " malformed lines skipped)\n";
+  if (log.empty()) return 1;
+
+  // Steps 1-2: scavenge + infer.
+  const logs::ScavengeResult scavenged = logs::scavenge(log, spec);
+  std::cout << "decisions: " << scavenged.decisions_seen << ", harvested "
+            << scavenged.data.size() << " tuples, dropped "
+            << scavenged.dropped_missing_fields + scavenged.dropped_bad_action
+            << "\n";
+  if (scavenged.data.size() < 50) {
+    std::cerr << "not enough exploration data to analyze\n";
+    return 1;
+  }
+  core::EmpiricalPropensityModel inference(spec.num_actions, {});
+  inference.fit(scavenged.data);
+  core::ExplorationDataset data =
+      core::annotate_propensities(scavenged.data, inference);
+  std::cout << "inferred propensity floor (epsilon): "
+            << util::format_double(data.min_propensity(), 4) << "\n";
+
+  const core::BoundParams params;
+  std::cout << "Eq. 1 width for evaluating 1e6 policies on this log: "
+            << util::format_double(
+                   core::cb_ci_width(static_cast<double>(data.size()), 1e6,
+                                     data.min_propensity(), params),
+                   4)
+            << "\n\n";
+
+  // Step 3a: per-action (constant-policy) offline estimates.
+  const core::IpsEstimator ips;
+  util::Table table({"policy", "IPS estimate", "95% CI"});
+  for (std::size_t a = 0; a < spec.num_actions; ++a) {
+    const core::ConstantPolicy constant(spec.num_actions,
+                                        static_cast<core::ActionId>(a));
+    const core::Estimate est = ips.evaluate(data, constant);
+    table.add_row({constant.name(), util::format_double(est.value, 4),
+                   "[" + util::format_double(est.normal_ci.lo, 4) + ", " +
+                       util::format_double(est.normal_ci.hi, 4) + "]"});
+  }
+
+  // Step 3b: train on half, evaluate offline on the other half.
+  util::Rng rng(7);
+  data.shuffle(rng);
+  const auto [train, test] = data.split(0.5);
+  const core::PolicyPtr cb = core::train_cb_policy(train, {});
+  const core::Estimate cb_est = ips.evaluate(test, *cb);
+  table.add_row({"trained CB policy", util::format_double(cb_est.value, 4),
+                 "[" + util::format_double(cb_est.normal_ci.lo, 4) + ", " +
+                     util::format_double(cb_est.normal_ci.hi, 4) + "]"});
+  table.print(std::cout);
+
+  std::cout << "\nThe CB policy's estimate comes from held-out data — if its "
+               "CI clears the incumbents', it is deployable evidence.\n";
+  return 0;
+}
