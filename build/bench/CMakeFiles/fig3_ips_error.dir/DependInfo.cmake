@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig3_ips_error.cpp" "bench/CMakeFiles/fig3_ips_error.dir/fig3_ips_error.cpp.o" "gcc" "bench/CMakeFiles/fig3_ips_error.dir/fig3_ips_error.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harvest/CMakeFiles/harvest_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/lb/CMakeFiles/harvest_lb.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/harvest_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/health/CMakeFiles/harvest_health.dir/DependInfo.cmake"
+  "/root/repo/build/src/logs/CMakeFiles/harvest_logs.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/harvest_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/harvest_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/harvest_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/harvest_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
