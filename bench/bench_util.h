@@ -1,10 +1,12 @@
 // Shared helpers for the reproduction benches: banners, paper-vs-measured
-// table assembly, and common flags (--seed, --csv).
+// table assembly, and common flags (--seed, --fast, --metrics-out).
 #pragma once
 
 #include <iostream>
 #include <string>
 
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "util/flags.h"
 
 namespace harvest::bench {
@@ -19,17 +21,32 @@ inline void banner(const std::string& experiment, const std::string& claim) {
                "=\n";
 }
 
-/// Common bench flags: seed and fast mode (CI-scale runs).
+/// Common bench flags: seed, fast mode (CI-scale runs), and an optional
+/// JSONL dump of every metric the run recorded (--metrics-out run.jsonl).
 struct CommonFlags {
   std::uint64_t seed = 42;
   bool fast = false;
+  std::string metrics_out;
 
   static CommonFlags parse(const util::Flags& flags) {
     CommonFlags out;
     out.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
     out.fast = flags.get_bool("fast", false);
+    out.metrics_out = flags.get_string("metrics-out", "");
     return out;
   }
 };
+
+/// Dumps the process-wide metric registry as JSONL when --metrics-out was
+/// given. Call once at the end of main, after the workload ran.
+inline void export_metrics(const CommonFlags& flags) {
+  if (flags.metrics_out.empty()) return;
+  if (obs::write_jsonl_file(obs::Registry::global(), flags.metrics_out)) {
+    std::cout << "metrics: " << obs::Registry::global().size()
+              << " series written to " << flags.metrics_out << "\n";
+  } else {
+    std::cerr << "cannot write metrics to " << flags.metrics_out << "\n";
+  }
+}
 
 }  // namespace harvest::bench

@@ -129,5 +129,6 @@ int main(int argc, char** argv) {
             << "  [" << (aware_latency < blind_latency ? "ok" : "FAIL")
             << "] the fault-aware policy (learned from harvested chaos "
                "logs) outperforms the fault-blind one under faults\n";
+  bench::export_metrics(common);
   return 0;
 }

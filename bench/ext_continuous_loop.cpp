@@ -87,5 +87,6 @@ int main(int argc, char** argv) {
             << util::format_double(loop_after / 2, 3) << "s vs "
             << util::format_double(oneshot_after / 2, 3)
             << "s mean over rounds 4-5)\n";
+  bench::export_metrics(common);
   return 0;
 }

@@ -122,5 +122,6 @@ int main(int argc, char** argv) {
             << "] learned policy (" << util::format_double(truth, 3)
             << ") clearly outperforms the wait-max default ("
             << util::format_double(default_value, 3) << ")\n";
+  bench::export_metrics(common);
   return 0;
 }

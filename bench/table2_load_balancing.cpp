@@ -151,5 +151,6 @@ int main(int argc, char** argv) {
             << "] CB policy beats least-loaded online ("
             << util::format_double(online_cb, 2) << "s vs "
             << util::format_double(online_ll, 2) << "s)\n";
+  bench::export_metrics(common);
   return 0;
 }

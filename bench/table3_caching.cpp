@@ -221,5 +221,6 @@ int main(int argc, char** argv) {
             << "% vs CB " << util::format_double(100 * cb_hr, 1)
             << "%, freq/size " << util::format_double(100 * fs_hr, 1)
             << "%)\n";
+  bench::export_metrics(common);
   return 0;
 }

@@ -79,6 +79,25 @@ int main() {
   std::cout << "Conclusion: the offline estimate alone ("
             << util::format_double(estimate.normal_ci.lo, 3) << " lower "
             << "bound vs default " << util::format_double(default_value, 3)
-            << ") justifies deploying the CB policy — no A/B test needed.\n";
+            << ") justifies deploying the CB policy — no A/B test needed.\n\n";
+
+  // --- Observability: this estimate is healthy, and the diagnostics say
+  // so — ESS near n (uniform logging), stationary contexts, no warnings.
+  std::cout << "== OPE-health diagnostics (healthy case) ==\n";
+  const obs::OpeDiagnostics ope =
+      obs::compute_ope_diagnostics(test_exploration, *cb);
+  const obs::DriftReport drift =
+      obs::compute_context_drift(exploration, test_exploration);
+  std::cout << "ESS " << util::format_double(ope.ess, 0) << "/" << ope.n
+            << ", min propensity " << util::format_double(ope.min_propensity, 3)
+            << ", max weight " << util::format_double(ope.max_weight, 1)
+            << ", drift max z = " << util::format_double(drift.max_z, 1)
+            << "\n";
+  const auto warnings = obs::check_ope_health(ope, &drift, {});
+  if (warnings.empty()) {
+    std::cout << "no OPE-health warnings — the estimate is trustworthy.\n";
+  } else {
+    obs::print_warnings(std::cout, "health", warnings);
+  }
   return 0;
 }

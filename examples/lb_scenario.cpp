@@ -73,6 +73,23 @@ int main() {
             << "s\n"
             << "CB beats least-loaded because it learned server 2's additive "
                "latency offset and its penalty on heavy requests — context "
-               "least-loaded cannot use.\n";
+               "least-loaded cannot use.\n\n";
+
+  // --- Observability: the A1 violation above is detectable *before* the
+  // bad deployment. Compare the contexts send-to-1 generates against the
+  // contexts the data was logged under — the drift diagnostic fires.
+  std::cout << "== OPE-health diagnostics catch the A1 violation ==\n";
+  util::Rng rng5(13);
+  lb::SendToRouter send1_again(2, 0);
+  const core::ExplorationDataset deployed_data =
+      lb::run_lb(config, send1_again, rng5).exploration;
+  const obs::DriftReport drift =
+      obs::compute_context_drift(data, deployed_data);
+  const obs::OpeDiagnostics ope = obs::compute_ope_diagnostics(data, send1);
+  const auto warnings = obs::check_ope_health(ope, &drift, {});
+  std::cout << "logging-window vs send-to-1 contexts: max drift z = "
+            << util::format_double(drift.max_z, 1) << " on feature "
+            << drift.max_feature << "\n";
+  obs::print_warnings(std::cout, "lb", warnings);
   return 0;
 }

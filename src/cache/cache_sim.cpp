@@ -5,6 +5,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+
 namespace harvest::cache {
 
 namespace {
@@ -31,6 +33,14 @@ CacheResult run_cache(const CacheConfig& config, Workload& workload,
   CacheStore store(config.capacity_bytes, config.eviction_samples,
                    config.eviction_pool);
   CacheResult result;
+  // Per-decision observability hooks (handles resolved once, hot loop
+  // records through them).
+  obs::Registry& registry = obs::Registry::global();
+  obs::Counter& obs_hits =
+      registry.counter("cache_requests_total", {{"result", "hit"}});
+  obs::Counter& obs_misses =
+      registry.counter("cache_requests_total", {{"result", "miss"}});
+  obs::Counter& obs_evictions = registry.counter("cache_evictions_total");
 
   bool measuring = false;
   double now = 0;
@@ -66,8 +76,10 @@ CacheResult run_cache(const CacheConfig& config, Workload& workload,
     ++result.measured_requests;
     if (hit) {
       ++result.hits;
+      obs_hits.add(1);
     } else {
       ++result.misses;
+      obs_misses.add(1);
     }
     if (config.on_access) config.on_access(key, hit);
     if (config.keep_log) {
@@ -81,6 +93,7 @@ CacheResult run_cache(const CacheConfig& config, Workload& workload,
   }
 
   result.evictions = store.evictions();
+  obs_evictions.add(static_cast<double>(result.evictions));
   result.hit_rate = result.measured_requests == 0
                         ? 0.0
                         : static_cast<double>(result.hits) /

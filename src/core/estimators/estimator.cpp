@@ -28,4 +28,18 @@ Estimate OffPolicyEstimator::finish(const std::vector<double>& per_point,
   return est;
 }
 
+void OffPolicyEstimator::attach_weight_diagnostics(
+    Estimate& est, const std::vector<double>& weights) {
+  if (weights.empty()) return;
+  double sum = 0, sum_sq = 0, max_w = 0;
+  for (double w : weights) {
+    sum += w;
+    sum_sq += w * w;
+    if (w > max_w) max_w = w;
+  }
+  est.max_weight = max_w;
+  est.ess = sum_sq > 0 ? (sum * sum) / sum_sq
+                       : static_cast<double>(weights.size());
+}
+
 }  // namespace harvest::core

@@ -21,6 +21,13 @@ struct Estimate {
   double stderr_value = 0;     ///< standard error of `value`
   stats::Interval normal_ci;   ///< asymptotic-normal CI at the given delta
   stats::Interval bernstein_ci;///< finite-sample empirical-Bernstein CI
+  // Weight-health diagnostics (filled by importance-weighted estimators;
+  // zero for model-based ones). These are the quantities that reveal a
+  // silently-broken estimate: a tiny ESS or a huge max weight means the
+  // value above is dominated by a handful of points.
+  double ess = 0;              ///< Kish effective sample size (Σw)²/Σw²
+  double max_weight = 0;       ///< largest importance weight observed
+  double clipped_fraction = 0; ///< fraction of weights the estimator clipped
 };
 
 /// Base class for all off-policy estimators.
@@ -41,6 +48,11 @@ class OffPolicyEstimator {
   /// the estimator's value: fills stderr and both confidence intervals.
   static Estimate finish(const std::vector<double>& per_point,
                          std::size_t matched, double delta, double range);
+
+  /// Fills the weight-health diagnostics (ess, max_weight) from the
+  /// importance weights the estimator actually used.
+  static void attach_weight_diagnostics(Estimate& est,
+                                        const std::vector<double>& weights);
 };
 
 using EstimatorPtr = std::shared_ptr<const OffPolicyEstimator>;

@@ -18,8 +18,9 @@ void check_compatible(const ExplorationDataset& data, const Policy& policy) {
 Estimate IpsEstimator::evaluate(const ExplorationDataset& data,
                                 const Policy& policy, double delta) const {
   check_compatible(data, policy);
-  std::vector<double> contributions;
+  std::vector<double> contributions, weights;
   contributions.reserve(data.size());
+  weights.reserve(data.size());
   std::size_t matched = 0;
   double max_contribution = 0;
   for (const auto& pt : data.points()) {
@@ -27,6 +28,7 @@ Estimate IpsEstimator::evaluate(const ExplorationDataset& data,
     const double w = pi_a / pt.propensity;
     if (pi_a > 0) ++matched;
     contributions.push_back(w * pt.reward);
+    weights.push_back(w);
     max_contribution = std::max(max_contribution, std::abs(w * pt.reward));
   }
   // The per-point contribution range for the Bernstein CI: rewards scaled by
@@ -34,7 +36,9 @@ Estimate IpsEstimator::evaluate(const ExplorationDataset& data,
   const double range = std::max(
       data.reward_range().width() / std::max(data.min_propensity(), 1e-12),
       max_contribution);
-  return finish(contributions, matched, delta, range);
+  Estimate est = finish(contributions, matched, delta, range);
+  attach_weight_diagnostics(est, weights);
+  return est;
 }
 
 ClippedIpsEstimator::ClippedIpsEstimator(double max_weight)
@@ -48,17 +52,26 @@ Estimate ClippedIpsEstimator::evaluate(const ExplorationDataset& data,
                                        const Policy& policy,
                                        double delta) const {
   check_compatible(data, policy);
-  std::vector<double> contributions;
+  std::vector<double> contributions, weights;
   contributions.reserve(data.size());
+  weights.reserve(data.size());
   std::size_t matched = 0;
+  std::size_t clipped = 0;
   for (const auto& pt : data.points()) {
     const double pi_a = policy.probability(pt.context, pt.action);
-    const double w = std::min(pi_a / pt.propensity, max_weight_);
+    const double raw = pi_a / pt.propensity;
+    const double w = std::min(raw, max_weight_);
+    if (raw > max_weight_) ++clipped;
     if (pi_a > 0) ++matched;
     contributions.push_back(w * pt.reward);
+    weights.push_back(w);
   }
   const double range = data.reward_range().width() * max_weight_;
-  return finish(contributions, matched, delta, range);
+  Estimate est = finish(contributions, matched, delta, range);
+  attach_weight_diagnostics(est, weights);
+  est.clipped_fraction =
+      static_cast<double>(clipped) / static_cast<double>(data.size());
+  return est;
 }
 
 std::string ClippedIpsEstimator::name() const {
@@ -86,6 +99,7 @@ Estimate SnipsEstimator::evaluate(const ExplorationDataset& data,
   Estimate est;
   est.n = data.size();
   est.matched = matched;
+  attach_weight_diagnostics(est, weights);
   if (weight_sum <= 0) {
     // The candidate never overlaps the logged actions; SNIPS is undefined.
     // Report the midpoint with a vacuous full-range interval.

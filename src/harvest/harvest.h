@@ -32,6 +32,9 @@
 #include "harvest/loop.h"
 #include "harvest/pipeline.h"
 
+// Observability: labeled metrics, span tracing, OPE-health diagnostics.
+#include "obs/obs.h"
+
 // Formatting helpers used by examples and benches.
 #include "util/string_util.h"
 #include "util/table.h"

@@ -2,8 +2,11 @@
 
 #include <memory>
 #include <stdexcept>
+#include <string>
 
 #include "core/policies/basic.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace harvest::pipeline {
 
@@ -27,13 +30,20 @@ LoopResult run_continuous_loop(const LoopConfig& config,
   LoopResult result;
   core::PolicyPtr current = std::move(initial);
   std::vector<core::ExplorationDataset> history;
+  obs::Registry& registry = obs::Registry::global();
+  const obs::Labels labels = {{"loop", "continuous"}};
+  obs::ScopedSpan loop_span("loop.run_continuous_loop");
 
   for (std::size_t it = 0; it < config.iterations; ++it) {
+    obs::ScopedSpan round_span("loop.round");
     // Deploy with an exploration floor (except when the current policy is
     // already fully randomized, wrapping is still harmless).
     core::PolicyPtr deployed = std::make_shared<core::EpsilonGreedyPolicy>(
         current, config.exploration_epsilon);
-    core::ExplorationDataset harvested = deploy(deployed, it, rng);
+    core::ExplorationDataset harvested = [&] {
+      obs::ScopedSpan span("loop.deploy");
+      return deploy(deployed, it, rng);
+    }();
     if (harvested.empty()) {
       throw std::runtime_error(
           "run_continuous_loop: deployment harvested no data");
@@ -48,12 +58,23 @@ LoopResult run_continuous_loop(const LoopConfig& config,
     round.deployed = deployed;
     result.rounds.push_back(round);
 
+    registry.counter("harvest_loop_rounds_total", labels).add(1);
+    registry.counter("harvest_loop_points_total", labels)
+        .add(static_cast<double>(round.harvested));
+    registry.histogram("harvest_loop_round_reward", labels)
+        .observe(round.mean_reward);
+    registry.gauge("harvest_loop_mean_reward", labels)
+        .set(round.mean_reward);
+    registry.gauge("harvest_loop_min_propensity", labels)
+        .set(harvested.min_propensity());
+
     history.push_back(std::move(harvested));
     if (config.window > 0 && history.size() > config.window) {
       history.erase(history.begin());
     }
 
     // Retrain on the (windowed) harvested history.
+    obs::ScopedSpan retrain_span("loop.retrain");
     core::ExplorationDataset training(history.front().num_actions(),
                                       history.front().reward_range());
     std::size_t total = 0;

@@ -1,29 +1,70 @@
 #include "harvest/pipeline.h"
 
+#include <iostream>
 #include <stdexcept>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace harvest::pipeline {
 
 namespace {
 
+obs::Labels pipeline_labels(const PipelineConfig& config) {
+  return {{"pipeline", config.obs_label}};
+}
+
 core::ExplorationDataset scavenge_and_infer(const logs::LogStore& log,
                                             const PipelineConfig& config,
                                             HarvestReport& report) {
+  obs::Registry& registry = obs::Registry::global();
+  const obs::Labels labels = pipeline_labels(config);
+
   // Step 1: scavenge.
-  logs::ScavengeResult scavenged = logs::scavenge(log, config.spec);
+  logs::ScavengeResult scavenged = [&] {
+    obs::ScopedSpan span("pipeline.scavenge");
+    return logs::scavenge(log, config.spec);
+  }();
   report.records_seen = scavenged.records_seen;
   report.decisions_harvested = scavenged.data.size();
   report.decisions_dropped =
       scavenged.dropped_missing_fields + scavenged.dropped_bad_action;
+  registry.counter("harvest_records_seen_total", labels)
+      .add(static_cast<double>(report.records_seen));
+  registry.counter("harvest_decisions_harvested_total", labels)
+      .add(static_cast<double>(report.decisions_harvested));
+  registry.counter("harvest_decisions_dropped_total", labels)
+      .add(static_cast<double>(report.decisions_dropped));
 
   // Step 2: infer propensities if the log did not carry them.
   core::ExplorationDataset data = std::move(scavenged.data);
   if (config.inference) {
+    obs::ScopedSpan span("pipeline.infer_propensities");
     config.inference->fit(data);
     data = core::annotate_propensities(data, *config.inference);
   }
   report.min_propensity = data.min_propensity();
+  registry.gauge("harvest_min_propensity", labels)
+      .set(report.min_propensity);
   return data;
+}
+
+/// Shared post-harvest health check: policy-free weight diagnostics plus
+/// the first-half/second-half context-drift test, exported as gauges and
+/// surfaced as WARN lines when thresholds trip.
+void run_diagnostics(const core::ExplorationDataset& data,
+                     const PipelineConfig& config, HarvestReport& report) {
+  obs::ScopedSpan span("pipeline.diagnostics");
+  report.logging_diagnostics = obs::compute_logging_diagnostics(data);
+  report.drift = obs::compute_context_drift_split(data, 0.5);
+  report.warnings = obs::check_ope_health(report.logging_diagnostics,
+                                          &report.drift, config.thresholds);
+  obs::register_diagnostics(obs::Registry::global(),
+                            report.logging_diagnostics, &report.drift,
+                            pipeline_labels(config));
+  if (config.diagnostics_warnings) {
+    obs::print_warnings(std::cerr, config.obs_label, report.warnings);
+  }
 }
 
 }  // namespace
@@ -35,20 +76,31 @@ HarvestReport evaluate_candidates(
   if (!config.estimator) {
     throw std::invalid_argument("evaluate_candidates: estimator required");
   }
+  obs::ScopedSpan root("pipeline.evaluate_candidates");
   HarvestReport report;
   core::ExplorationDataset data = scavenge_and_infer(log, config, report);
   if (data.empty()) {
     throw std::runtime_error(
         "evaluate_candidates: no exploration data harvested");
   }
+  run_diagnostics(data, config, report);
 
   // Step 3: evaluate all candidates offline.
-  for (const auto& policy : candidates) {
-    if (!policy) throw std::invalid_argument("null candidate policy");
-    report.candidates.push_back(CandidateReport{
-        policy->name(), config.estimator->evaluate(data, *policy,
-                                                   config.delta)});
+  {
+    obs::ScopedSpan span("pipeline.estimate");
+    for (const auto& policy : candidates) {
+      if (!policy) throw std::invalid_argument("null candidate policy");
+      CandidateReport candidate;
+      candidate.policy_name = policy->name();
+      candidate.estimate = config.estimator->evaluate(data, *policy,
+                                                      config.delta);
+      candidate.diagnostics = obs::compute_ope_diagnostics(data, *policy);
+      report.candidates.push_back(std::move(candidate));
+    }
   }
+  obs::Registry::global()
+      .counter("harvest_candidates_evaluated_total", pipeline_labels(config))
+      .add(static_cast<double>(candidates.size()));
   if (report.min_propensity > 0 && !candidates.empty()) {
     report.eq1_width = core::cb_ci_width(
         static_cast<double>(data.size()),
@@ -65,12 +117,14 @@ HarvestReport evaluate_candidates(
 core::PolicyPtr optimize_policy(const logs::LogStore& log,
                                 const PipelineConfig& config,
                                 core::TrainConfig train_config) {
+  obs::ScopedSpan root("pipeline.optimize_policy");
   HarvestReport report;
-  const core::ExplorationDataset data =
-      scavenge_and_infer(log, config, report);
+  core::ExplorationDataset data = scavenge_and_infer(log, config, report);
   if (data.empty()) {
     throw std::runtime_error("optimize_policy: no exploration data harvested");
   }
+  run_diagnostics(data, config, report);
+  obs::ScopedSpan span("pipeline.train");
   return core::train_cb_policy(data, train_config);
 }
 

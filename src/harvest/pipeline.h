@@ -16,6 +16,7 @@
 #include "core/propensity.h"
 #include "core/train/trainer.h"
 #include "logs/scavenger.h"
+#include "obs/diagnostics.h"
 
 namespace harvest::pipeline {
 
@@ -23,6 +24,9 @@ namespace harvest::pipeline {
 struct CandidateReport {
   std::string policy_name;
   core::Estimate estimate;
+  /// Weight health of this candidate against the harvested data (ESS,
+  /// max weight, clipped fraction) — how much to trust `estimate`.
+  obs::OpeDiagnostics diagnostics;
 };
 
 /// Everything the pipeline learned from one log.
@@ -41,6 +45,15 @@ struct HarvestReport {
   /// Wasted-potential measure: largest policy class this log could have
   /// evaluated to 0.05 accuracy.
   double max_class_size = 0;
+  // Observability (filled by evaluate_candidates).
+  /// Policy-free weight health of the harvested log (w = 1/p worst case).
+  obs::OpeDiagnostics logging_diagnostics;
+  /// Context drift between the earlier and later half of the harvested
+  /// data — the A1 stationarity check.
+  obs::DriftReport drift;
+  /// Threshold violations found (also WARN-printed when the config's
+  /// `diagnostics_warnings` is on). Empty = healthy.
+  std::vector<obs::Diagnostic> warnings;
 };
 
 /// Pipeline configuration: what to scavenge, how to infer propensities, and
@@ -54,6 +67,13 @@ struct PipelineConfig {
   std::shared_ptr<const core::OffPolicyEstimator> estimator;
   double delta = 0.05;
   core::BoundParams bound_params;
+  // Observability.
+  /// Label value attached to every metric this pipeline run exports
+  /// (series `...{pipeline="<obs_label>"}` on obs::Registry::global()).
+  std::string obs_label = "pipeline";
+  /// Print WARN lines to stderr when OPE-health thresholds trip.
+  bool diagnostics_warnings = true;
+  obs::DiagnosticThresholds thresholds;
 };
 
 /// Runs steps 1-3 for evaluation: scavenges `log`, infers propensities, and

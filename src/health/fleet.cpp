@@ -4,7 +4,21 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace harvest::health {
+
+namespace {
+
+const char* failure_class_label(FailureClass c) {
+  switch (c) {
+    case FailureClass::kTransientFast: return "fast";
+    case FailureClass::kTransientSlow: return "slow";
+    default: return "hard";
+  }
+}
+
+}  // namespace
 
 double downtime_minutes(const FailureOutcome& outcome, double wait_minutes) {
   if (wait_minutes <= 0) {
@@ -104,9 +118,12 @@ core::FullFeedbackDataset Fleet::generate_dataset(std::size_t n,
   core::FullFeedbackDataset data(config_.num_wait_actions,
                                  core::RewardRange{0.0, 1.0});
   data.reserve(n);
+  obs::Counter& episodes = obs::Registry::global().counter(
+      "health_episodes_total", {{"source", "dataset"}});
   for (std::size_t i = 0; i < n; ++i) {
     const MachineContext ctx = sample_machine(rng);
     const FailureOutcome outcome = sample_outcome(ctx, rng);
+    episodes.add(1);
     core::FullFeedbackPoint pt;
     pt.context = ctx.to_features();
     pt.rewards.reserve(config_.num_wait_actions);
@@ -127,10 +144,25 @@ double Fleet::default_policy_reward(const MachineContext& ctx,
 logs::LogStore Fleet::generate_log(std::size_t n, util::Rng& rng) const {
   logs::LogStore log;
   double now = 0;
+  // Per-episode observability hooks: what a fleet-health exporter would
+  // count as unresponsiveness events stream in.
+  obs::Registry& registry = obs::Registry::global();
+  obs::Counter& episodes = registry.counter("health_episodes_total",
+                                            {{"source", "log"}});
+  obs::Histogram& recovery_minutes =
+      registry.histogram("health_recovery_minutes");
   for (std::size_t i = 0; i < n; ++i) {
     now += rng.exponential(1.0 / 90.0);  // an episode every ~90s fleet-wide
     const MachineContext ctx = sample_machine(rng);
     const FailureOutcome outcome = sample_outcome(ctx, rng);
+    episodes.add(1);
+    registry
+        .counter("health_outcome_total",
+                 {{"class", failure_class_label(outcome.failure_class)}})
+        .add(1);
+    if (outcome.recovery_minutes <= config_.default_wait) {
+      recovery_minutes.observe(outcome.recovery_minutes);
+    }
 
     logs::Record unresponsive;
     unresponsive.time = now;

@@ -1,7 +1,9 @@
 #include "lb/lb_sim.h"
 
 #include <stdexcept>
+#include <string>
 
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "stats/distributions.h"
 
@@ -33,6 +35,17 @@ LbResult run_lb(const LbConfig& config, Router& router, util::Rng& rng) {
 
   sim::Simulator simulator;
   sim::Metric latency_metric;
+  // Per-decision observability hooks: handles resolved once, recorded per
+  // routed request (see obs/metrics.h concurrency contract).
+  obs::Registry& registry = obs::Registry::global();
+  obs::Histogram& obs_latency = registry.histogram("lb_latency_seconds");
+  obs::Counter& obs_faults = registry.counter("lb_faults_total");
+  std::vector<obs::Counter*> obs_requests;
+  obs_requests.reserve(config.servers.size());
+  for (std::size_t s = 0; s < config.servers.size(); ++s) {
+    obs_requests.push_back(&registry.counter(
+        "lb_requests_total", {{"server", std::to_string(s)}}));
+  }
   LbResult result;
   result.per_server_requests.assign(servers.size(), 0);
   result.exploration = core::ExplorationDataset(
@@ -59,6 +72,7 @@ LbResult run_lb(const LbConfig& config, Router& router, util::Rng& rng) {
       const std::size_t victim = fault_rng.uniform_index(servers.size());
       simulator.schedule_at(when, [&, victim] {
         servers[victim].set_degradation(config.faults.slowdown);
+        obs_faults.add(1);
         if (config.keep_log) {
           logs::Record rec;
           rec.time = simulator.now();
@@ -110,6 +124,8 @@ LbResult run_lb(const LbConfig& config, Router& router, util::Rng& rng) {
 
       if (!measured) return;
       latency_metric.record(latency);
+      obs_latency.observe(latency);
+      obs_requests[choice]->add(1);
       ++result.per_server_requests[choice];
 
       if (config.keep_log) {

@@ -1,0 +1,110 @@
+// OPE-health diagnostics: the estimator-internal quantities that reveal
+// when off-policy evaluation is silently breaking (§5's A1/A2 violations).
+// Effective sample size and importance-weight tails diagnose variance blowup
+// (Strehl et al. 2010; Dudík et al. 2011); the per-feature context-drift
+// statistic detects the stationarity violation that makes Table 2's
+// "send to 1" estimate wrong. All of it registers as obs metrics and can be
+// surfaced as WARN lines, making the paper's failure modes observable
+// instead of silent.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/policy.h"
+#include "obs/metrics.h"
+
+namespace harvest::obs {
+
+/// Thresholds for flagging an unhealthy OPE setup. Defaults are the usual
+/// rules of thumb: ESS under 5% of N, propensities under 1%, importance
+/// weights above 100, and per-feature drift beyond 5 standard errors.
+struct DiagnosticThresholds {
+  double ess_fraction_min = 0.05;
+  double min_propensity_floor = 0.01;
+  double max_weight_ceiling = 100.0;
+  double drift_z_max = 5.0;
+};
+
+/// Importance-weight health of one (dataset, target policy) pair.
+struct OpeDiagnostics {
+  std::size_t n = 0;              ///< datapoints examined
+  double min_propensity = 0;      ///< the ε of Eq. 1 realized in the data
+  double max_weight = 0;          ///< largest importance weight π(a|x)/p
+  double mean_weight = 0;         ///< should be ≈1 when A1 holds
+  double ess = 0;                 ///< (Σw)²/Σw² — Kish effective sample size
+  double ess_fraction = 0;        ///< ess / n
+  double clip_weight = 0;         ///< the clip threshold used below
+  double clipped_fraction = 0;    ///< fraction of weights above clip_weight
+};
+
+/// Diagnostics for a concrete target policy: w_t = π(a_t|x_t) / p_t.
+OpeDiagnostics compute_ope_diagnostics(const core::ExplorationDataset& data,
+                                       const core::Policy& policy,
+                                       double clip_weight = 50.0);
+
+/// Policy-free worst case over deterministic targets: w_t = 1 / p_t. Use
+/// when auditing a log before any candidate policy exists.
+OpeDiagnostics compute_logging_diagnostics(
+    const core::ExplorationDataset& data, double clip_weight = 50.0);
+
+/// Drift of one context feature between the logging and evaluation windows.
+struct FeatureDrift {
+  std::size_t feature = 0;
+  double mean_logged = 0;
+  double mean_eval = 0;
+  double z = 0;  ///< Welch two-sample z statistic of the mean shift
+};
+
+/// Per-feature context-drift report between two windows of exploration
+/// data. Large |z| on any feature flags an A1 (stationarity) violation:
+/// the contexts the estimate will be consumed under no longer look like
+/// the contexts the data was logged under.
+struct DriftReport {
+  std::vector<FeatureDrift> features;
+  double max_z = 0;
+  std::size_t max_feature = 0;
+
+  bool drifted(double z_threshold) const { return max_z > z_threshold; }
+};
+
+/// Welch z per feature between `logged` and `eval` contexts. Features with
+/// zero variance in both windows get z = 0 when the means agree and a large
+/// sentinel z otherwise. Either window empty yields an empty report.
+DriftReport compute_context_drift(const core::ExplorationDataset& logged,
+                                  const core::ExplorationDataset& eval);
+
+/// Convenience: splits `data` at `fraction` in log order (earlier window =
+/// logging, later = evaluation) and compares the two. This is how a stream
+/// audits its own stationarity.
+DriftReport compute_context_drift_split(const core::ExplorationDataset& data,
+                                        double fraction = 0.5);
+
+/// One triggered diagnostic. `code` is stable and machine-matchable
+/// (e.g. "low-ess", "context-drift"); `message` is human-readable.
+struct Diagnostic {
+  std::string code;
+  std::string message;
+};
+
+/// Applies `thresholds` to the computed diagnostics. Pass a null drift when
+/// no drift check is wanted. Returns the triggered warnings, empty = healthy.
+std::vector<Diagnostic> check_ope_health(const OpeDiagnostics& ope,
+                                         const DriftReport* drift,
+                                         const DiagnosticThresholds& thresholds);
+
+/// Prints `WARN obs[label]: code — message` lines (no-op on empty).
+void print_warnings(std::ostream& out, const std::string& label,
+                    const std::vector<Diagnostic>& warnings);
+
+/// Registers the diagnostics as gauges on `registry`:
+///   ope_ess, ope_ess_fraction, ope_min_propensity, ope_max_weight,
+///   ope_clipped_fraction (+ ope_drift_max_z when drift given), all with
+///   `labels`.
+void register_diagnostics(Registry& registry, const OpeDiagnostics& ope,
+                          const DriftReport* drift, const Labels& labels);
+
+}  // namespace harvest::obs

@@ -1,0 +1,34 @@
+// Registry exporters: JSONL (one metric series per line, for offline
+// analysis of bench runs) and Prometheus text exposition (what a scrape
+// endpoint would serve). Both are snapshots — safe to call while other
+// threads keep recording.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace harvest::obs {
+
+/// Escapes `"`  `\` and control characters for embedding in JSON strings.
+std::string json_escape(const std::string& s);
+
+/// One JSON object per metric series:
+///   {"type":"counter","name":"lb_requests_total","labels":{"server":"0"},
+///    "value":28000}
+///   {"type":"histogram","name":"lb_latency_seconds","labels":{},
+///    "count":28000,"mean":0.41,"min":0.18,"max":1.9,"sum":11480.0,
+///    "p50":0.38,"p90":0.61,"p99":0.92}
+void write_jsonl(const Registry& registry, std::ostream& out);
+
+/// Prometheus-style text dump. Counters/gauges are plain samples;
+/// histograms render as summaries: quantile-labeled samples plus
+/// `<name>_sum` and `<name>_count`.
+void write_prometheus(const Registry& registry, std::ostream& out);
+
+/// Writes the JSONL dump to `path`; returns false (and writes nothing) if
+/// the file cannot be opened.
+bool write_jsonl_file(const Registry& registry, const std::string& path);
+
+}  // namespace harvest::obs

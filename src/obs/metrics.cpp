@@ -1,0 +1,149 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace harvest::obs {
+
+std::string label_suffix(const Labels& labels) {
+  if (labels.empty()) return "";
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out = "{";
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) out += ",";
+    out += sorted[i].first + "=\"" + sorted[i].second + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+void Histogram::observe(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  summary_.add(value);
+  p50_.add(value);
+  p90_.add(value);
+  p99_.add(value);
+}
+
+std::size_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return summary_.count();
+}
+
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return summary_.mean();
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return summary_.min();
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return summary_.max();
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return summary_.sum();
+}
+
+double Histogram::p50() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return p50_.value();
+}
+
+double Histogram::p90() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return p90_.value();
+}
+
+double Histogram::p99() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return p99_.value();
+}
+
+stats::Summary Histogram::summary() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return summary_;
+}
+
+template <typename T>
+T& Registry::get_or_create(std::map<std::string, Series<T>>& series,
+                           const std::string& name, const Labels& labels) {
+  const std::string key = name + label_suffix(labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series.find(key);
+  if (it == series.end()) {
+    Series<T> entry;
+    entry.name = name;
+    entry.labels = labels;
+    std::sort(entry.labels.begin(), entry.labels.end());
+    entry.metric = std::make_unique<T>();
+    it = series.emplace(key, std::move(entry)).first;
+  }
+  return *it->second.metric;
+}
+
+Counter& Registry::counter(const std::string& name, const Labels& labels) {
+  return get_or_create(counters_, name, labels);
+}
+
+Gauge& Registry::gauge(const std::string& name, const Labels& labels) {
+  return get_or_create(gauges_, name, labels);
+}
+
+Histogram& Registry::histogram(const std::string& name, const Labels& labels) {
+  return get_or_create(histograms_, name, labels);
+}
+
+std::vector<Registry::CounterEntry> Registry::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CounterEntry> out;
+  out.reserve(counters_.size());
+  for (const auto& [key, s] : counters_) {
+    out.push_back({s.name, s.labels, s.metric.get()});
+  }
+  return out;
+}
+
+std::vector<Registry::GaugeEntry> Registry::gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<GaugeEntry> out;
+  out.reserve(gauges_.size());
+  for (const auto& [key, s] : gauges_) {
+    out.push_back({s.name, s.labels, s.metric.get()});
+  }
+  return out;
+}
+
+std::vector<Registry::HistogramEntry> Registry::histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<HistogramEntry> out;
+  out.reserve(histograms_.size());
+  for (const auto& [key, s] : histograms_) {
+    out.push_back({s.name, s.labels, s.metric.get()});
+  }
+  return out;
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+void Registry::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry();  // leaked: outlives all users
+  return *instance;
+}
+
+}  // namespace harvest::obs

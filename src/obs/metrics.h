@@ -1,0 +1,132 @@
+// Process-wide observability metrics: labeled counters, gauges, and
+// histograms behind a thread-safe registry. This is the layer a production
+// deployment of the harvesting pipeline would scrape — the paper's failure
+// modes (OPE breaking under drift, propensity floors collapsing) are only
+// catchable by watching exactly these numbers.
+//
+// Concurrency contract: metric creation is mutex-guarded (lazy, on first
+// use); recording is wait-free for counters/gauges (atomics) and takes a
+// per-histogram mutex for histograms. Handles returned by the registry are
+// stable for the registry's lifetime, so hot loops should look a metric up
+// once and record through the reference.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stats/quantile.h"
+#include "stats/summary.h"
+
+namespace harvest::obs {
+
+/// Metric labels: sorted key=value dimensions (e.g. {server=1}). Kept small;
+/// label sets are part of a metric's identity in the registry.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Canonical `name{k="v",...}` rendering shared by exporters and tests.
+std::string label_suffix(const Labels& labels);
+
+/// Monotonic event count. Wait-free increments.
+class Counter {
+ public:
+  void add(double delta = 1.0) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Last-write-wins instantaneous value. Wait-free set/get.
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Value-distribution metric: streaming moments (Welford) plus P² quantile
+/// estimates at p50/p90/p99. Mutex-guarded; uncontended locking keeps the
+/// single-threaded fast path cheap.
+class Histogram {
+ public:
+  Histogram() : p50_(0.5), p90_(0.9), p99_(0.99) {}
+
+  void observe(double value);
+  /// Back-compat spelling used by the simulator metric API.
+  void record(double value) { observe(value); }
+
+  std::size_t count() const;
+  double mean() const;
+  double min() const;
+  double max() const;
+  double sum() const;
+  double p50() const;
+  double p90() const;
+  double p99() const;
+  /// Snapshot of the moment accumulator (copy — safe under concurrency).
+  stats::Summary summary() const;
+
+ private:
+  mutable std::mutex mu_;
+  stats::Summary summary_;
+  stats::P2Quantile p50_;
+  stats::P2Quantile p90_;
+  stats::P2Quantile p99_;
+};
+
+/// A string-keyed, label-aware metric registry. Metrics are created lazily
+/// on first access and live as long as the registry; creation is
+/// thread-safe. Distinct label sets on the same name are distinct series.
+class Registry {
+ public:
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  Histogram& histogram(const std::string& name, const Labels& labels = {});
+
+  /// One exported metric series (snapshot views used by the exporters).
+  struct CounterEntry { std::string name; Labels labels; const Counter* metric; };
+  struct GaugeEntry { std::string name; Labels labels; const Gauge* metric; };
+  struct HistogramEntry { std::string name; Labels labels; const Histogram* metric; };
+
+  std::vector<CounterEntry> counters() const;
+  std::vector<GaugeEntry> gauges() const;
+  std::vector<HistogramEntry> histograms() const;
+
+  /// Number of registered series across all kinds.
+  std::size_t size() const;
+
+  /// Drops every registered series (tests and per-run bench isolation).
+  void clear();
+
+  /// The process-wide registry that instrumented code records into.
+  static Registry& global();
+
+ private:
+  template <typename T>
+  struct Series {
+    std::string name;
+    Labels labels;
+    std::unique_ptr<T> metric;
+  };
+
+  template <typename T>
+  T& get_or_create(std::map<std::string, Series<T>>& series,
+                   const std::string& name, const Labels& labels);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Series<Counter>> counters_;
+  std::map<std::string, Series<Gauge>> gauges_;
+  std::map<std::string, Series<Histogram>> histograms_;
+};
+
+}  // namespace harvest::obs

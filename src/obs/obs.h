@@ -1,0 +1,8 @@
+// Umbrella header for the observability layer: labeled metrics, span
+// tracing, exporters, and OPE-health diagnostics.
+#pragma once
+
+#include "obs/diagnostics.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"

@@ -1,0 +1,112 @@
+#include "obs/trace.h"
+
+#include <ostream>
+
+#include "util/string_util.h"
+
+namespace harvest::obs {
+
+namespace {
+
+/// Per-thread open-span state: the would-be parent of the next span.
+struct ThreadSpanState {
+  std::uint64_t current_parent = 0;
+  int depth = 0;
+};
+
+ThreadSpanState& thread_state() {
+  thread_local ThreadSpanState state;
+  return state;
+}
+
+}  // namespace
+
+Tracer::Tracer(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      epoch_(std::chrono::steady_clock::now()) {
+  ring_.reserve(capacity_);
+}
+
+double Tracer::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::uint64_t Tracer::next_id() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ++id_counter_;
+}
+
+void Tracer::complete(SpanRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+    return;
+  }
+  ring_full_ = true;
+  ring_[ring_head_] = std::move(record);
+  ring_head_ = (ring_head_ + 1) % capacity_;
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!ring_full_) return ring_;
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(ring_head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void Tracer::write_jsonl(std::ostream& out) const {
+  for (const SpanRecord& span : snapshot()) {
+    out << "{\"id\":" << span.id << ",\"parent\":" << span.parent_id
+        << ",\"name\":\"" << span.name << "\",\"start_us\":"
+        << util::format_double(span.start_us, 3) << ",\"duration_us\":"
+        << util::format_double(span.duration_us, 3) << ",\"depth\":"
+        << span.depth << "}\n";
+  }
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  ring_head_ = 0;
+  ring_full_ = false;
+}
+
+Tracer& Tracer::global() {
+  static Tracer* instance = new Tracer();  // leaked: outlives all users
+  return *instance;
+}
+
+ScopedSpan::ScopedSpan(Tracer& tracer, std::string name)
+    : tracer_(tracer.enabled() ? &tracer : nullptr) {
+  if (!tracer_) return;
+  ThreadSpanState& state = thread_state();
+  record_.id = tracer_->next_id();
+  record_.parent_id = state.current_parent;
+  record_.name = std::move(name);
+  record_.depth = state.depth;
+  start_us_ = tracer_->now_us();
+  record_.start_us = start_us_;
+  saved_parent_ = state.current_parent;
+  state.current_parent = record_.id;
+  ++state.depth;
+}
+
+ScopedSpan::ScopedSpan(std::string name)
+    : ScopedSpan(Tracer::global(), std::move(name)) {}
+
+ScopedSpan::~ScopedSpan() {
+  if (!tracer_) return;
+  ThreadSpanState& state = thread_state();
+  state.current_parent = saved_parent_;
+  --state.depth;
+  record_.duration_us = tracer_->now_us() - start_us_;
+  tracer_->complete(std::move(record_));
+}
+
+}  // namespace harvest::obs

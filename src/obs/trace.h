@@ -1,0 +1,92 @@
+// Lightweight span tracing for the harvest pipeline: scoped RAII timers
+// with parent/child nesting, collected into a fixed-capacity ring buffer
+// and dumpable as JSONL (one span object per line). Spans are cheap enough
+// to wrap coarse stages (scavenge, infer, estimate, train, deploy rounds)
+// but are not meant for per-request instrumentation — use obs::Registry
+// counters/histograms for that.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace harvest::obs {
+
+/// One finished span. `parent_id` 0 means a root span. `start_us` is
+/// microseconds since the tracer was constructed (steady clock).
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::uint64_t parent_id = 0;
+  std::string name;
+  double start_us = 0;
+  double duration_us = 0;
+  int depth = 0;  ///< nesting depth at completion (root = 0)
+};
+
+/// Ring-buffered span collector. Thread-safe for concurrent span
+/// completion; parent/child nesting is tracked per thread.
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 4096);
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  /// Completed spans, oldest first (at most `capacity` retained).
+  std::vector<SpanRecord> snapshot() const;
+
+  /// Writes one JSON object per completed span:
+  ///   {"id":3,"parent":1,"name":"pipeline.scavenge","start_us":12.0,
+  ///    "duration_us":840.5,"depth":1}
+  void write_jsonl(std::ostream& out) const;
+
+  void clear();
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// The process-wide tracer instrumented code reports to.
+  static Tracer& global();
+
+ private:
+  friend class ScopedSpan;
+
+  std::uint64_t next_id();
+  void complete(SpanRecord record);
+  double now_us() const;
+
+  bool enabled_ = true;
+  std::size_t capacity_;
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::uint64_t id_counter_ = 0;  // guarded by mu_
+  std::vector<SpanRecord> ring_;  // guarded by mu_
+  std::size_t ring_head_ = 0;     // next write position once full
+  bool ring_full_ = false;
+};
+
+/// RAII span: opens on construction, records into the tracer on
+/// destruction. Nesting is inferred from construction order within a
+/// thread — a span constructed while another is open becomes its child.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer& tracer, std::string name);
+  /// Convenience: spans against the global tracer.
+  explicit ScopedSpan(std::string name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  std::uint64_t id() const { return record_.id; }
+
+ private:
+  Tracer* tracer_;  // null when the tracer was disabled at construction
+  SpanRecord record_;
+  double start_us_ = 0;
+  std::uint64_t saved_parent_ = 0;
+};
+
+}  // namespace harvest::obs

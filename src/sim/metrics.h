@@ -1,36 +1,25 @@
-// Named metric recorders attached to simulations: streaming summaries plus
-// p50/p99 estimates, the counters systems actually log ("reward" column of
-// Table 1 is a p99 latency).
+// Named metric recorders attached to simulations — now thin aliases over
+// the process-wide observability layer (obs::Histogram), so simulator
+// measurements share the same streaming summaries, quantiles, and exporters
+// as the rest of the pipeline. A sim::Metric is an obs histogram; the
+// registry here keeps the old name-keyed, value-semantics API for
+// simulation-local metric sets (the global labeled registry is
+// obs::Registry::global()).
 #pragma once
 
 #include <map>
 #include <string>
 
-#include "stats/quantile.h"
-#include "stats/summary.h"
+#include "obs/metrics.h"
 
 namespace harvest::sim {
 
-/// One metric series: summary moments plus streaming median and p99.
-class Metric {
- public:
-  Metric();
-
-  void record(double value);
-
-  const stats::Summary& summary() const { return summary_; }
-  double mean() const { return summary_.mean(); }
-  std::size_t count() const { return summary_.count(); }
-  double p50() const { return p50_.value(); }
-  double p99() const { return p99_.value(); }
-
- private:
-  stats::Summary summary_;
-  stats::P2Quantile p50_;
-  stats::P2Quantile p99_;
-};
+/// One metric series: summary moments plus streaming p50/p90/p99.
+using Metric = obs::Histogram;
 
 /// A string-keyed registry of metrics (lazily created on first record).
+/// Simulation-local and unlabeled; prefer obs::Registry for anything that
+/// should be exported process-wide.
 class MetricRegistry {
  public:
   Metric& get(const std::string& name) { return metrics_[name]; }

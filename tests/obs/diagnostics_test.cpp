@@ -1,0 +1,170 @@
+// Tests for the OPE-health diagnostics: ESS and weight tails on a
+// hand-built dataset, threshold-triggered warnings, and the context-drift
+// regression the paper's Table 2 motivates — the statistic must fire on a
+// shifted-context load-balancing log and stay quiet on a stationary
+// machine-health log.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/policies/basic.h"
+#include "health/fleet.h"
+#include "lb/lb_sim.h"
+#include "lb/routers.h"
+#include "obs/diagnostics.h"
+#include "obs/metrics.h"
+
+namespace harvest::obs {
+namespace {
+
+/// Hand-built 2-action dataset with known propensities:
+///   (a=0, p=0.5), (a=0, p=0.25), (a=1, p=0.5), (a=1, p=0.25).
+core::ExplorationDataset hand_built() {
+  core::ExplorationDataset data(2, core::RewardRange{0.0, 1.0});
+  data.add({core::FeatureVector{1.0}, 0, 0.5, 0.5});
+  data.add({core::FeatureVector{1.0}, 0, 0.5, 0.25});
+  data.add({core::FeatureVector{1.0}, 1, 0.5, 0.5});
+  data.add({core::FeatureVector{1.0}, 1, 0.5, 0.25});
+  return data;
+}
+
+TEST(OpeDiagnosticsTest, EssAndWeightsOnHandBuiltDataset) {
+  const core::ExplorationDataset data = hand_built();
+  const core::ConstantPolicy always0(2, 0);
+  // Weights against always-action-0: {1/0.5, 1/0.25, 0, 0} = {2, 4, 0, 0}.
+  // ESS = (2+4)² / (4+16) = 36/20 = 1.8.
+  const OpeDiagnostics diag = compute_ope_diagnostics(data, always0, 3.0);
+  EXPECT_EQ(diag.n, 4u);
+  EXPECT_DOUBLE_EQ(diag.min_propensity, 0.25);
+  EXPECT_DOUBLE_EQ(diag.max_weight, 4.0);
+  EXPECT_DOUBLE_EQ(diag.mean_weight, 1.5);
+  EXPECT_DOUBLE_EQ(diag.ess, 1.8);
+  EXPECT_DOUBLE_EQ(diag.ess_fraction, 0.45);
+  // Exactly one of four weights exceeds the clip threshold 3.
+  EXPECT_DOUBLE_EQ(diag.clipped_fraction, 0.25);
+}
+
+TEST(OpeDiagnosticsTest, LoggingDiagnosticsUseWorstCaseWeights) {
+  // w = 1/p: {2, 4, 2, 4} → ESS = 144/40 = 3.6.
+  const OpeDiagnostics diag = compute_logging_diagnostics(hand_built(), 50.0);
+  EXPECT_DOUBLE_EQ(diag.max_weight, 4.0);
+  EXPECT_DOUBLE_EQ(diag.ess, 3.6);
+  EXPECT_DOUBLE_EQ(diag.clipped_fraction, 0.0);
+}
+
+TEST(OpeDiagnosticsTest, HealthCheckFiresOnBadSetups) {
+  const core::ExplorationDataset data = hand_built();
+  const core::ConstantPolicy always0(2, 0);
+  const OpeDiagnostics diag = compute_ope_diagnostics(data, always0);
+
+  DiagnosticThresholds strict;
+  strict.ess_fraction_min = 0.5;       // 0.45 < 0.5 → fires
+  strict.min_propensity_floor = 0.3;   // 0.25 < 0.3 → fires
+  strict.max_weight_ceiling = 3.0;     // 4 > 3 → fires
+  const auto warnings = check_ope_health(diag, nullptr, strict);
+  ASSERT_EQ(warnings.size(), 3u);
+  EXPECT_EQ(warnings[0].code, "low-ess");
+  EXPECT_EQ(warnings[1].code, "low-propensity");
+  EXPECT_EQ(warnings[2].code, "weight-blowup");
+
+  DiagnosticThresholds lenient;
+  lenient.ess_fraction_min = 0.1;
+  lenient.min_propensity_floor = 0.1;
+  lenient.max_weight_ceiling = 10.0;
+  EXPECT_TRUE(check_ope_health(diag, nullptr, lenient).empty());
+}
+
+TEST(OpeDiagnosticsTest, RegistersGauges) {
+  Registry registry;
+  const OpeDiagnostics diag = compute_logging_diagnostics(hand_built());
+  DriftReport drift;
+  drift.max_z = 7.5;
+  register_diagnostics(registry, diag, &drift, {{"pipeline", "test"}});
+  EXPECT_DOUBLE_EQ(
+      registry.gauge("ope_ess", {{"pipeline", "test"}}).value(), 3.6);
+  EXPECT_DOUBLE_EQ(
+      registry.gauge("ope_min_propensity", {{"pipeline", "test"}}).value(),
+      0.25);
+  EXPECT_DOUBLE_EQ(
+      registry.gauge("ope_drift_max_z", {{"pipeline", "test"}}).value(), 7.5);
+}
+
+TEST(DriftTest, DegenerateAndEmptyWindows) {
+  core::ExplorationDataset a(2, {}), b(2, {});
+  EXPECT_TRUE(compute_context_drift(a, b).features.empty());
+
+  // Constant feature, same value: no drift. Different value: sentinel z.
+  for (int i = 0; i < 10; ++i) {
+    a.add({core::FeatureVector{1.0}, 0, 0.5, 0.5});
+    b.add({core::FeatureVector{1.0}, 0, 0.5, 0.5});
+  }
+  EXPECT_DOUBLE_EQ(compute_context_drift(a, b).max_z, 0.0);
+
+  core::ExplorationDataset c(2, {});
+  for (int i = 0; i < 10; ++i) {
+    c.add({core::FeatureVector{2.0}, 0, 0.5, 0.5});
+  }
+  EXPECT_GT(compute_context_drift(a, c).max_z, 1e6);
+}
+
+// The paper's regression: the closed-loop lb scenario violates A1 when the
+// deployed policy changes (routing decisions feed back into the
+// open-connections context), while the machine-health scenario's contexts
+// are exogenous and stationary. The drift statistic must separate the two.
+TEST(DriftRegressionTest, FiresOnShiftedLbLogQuietOnStationaryHealthLog) {
+  const DiagnosticThresholds thresholds;  // default z threshold
+
+  // --- lb: logging window under uniform-random routing, evaluation window
+  // under send-to-0 — the A1 violation of Table 2.
+  lb::LbConfig config = lb::fig5_config();
+  config.num_requests = 4000;
+  config.warmup_requests = 400;
+  config.keep_log = false;
+
+  util::Rng lb_rng(17);
+  lb::RandomRouter random_router(2);
+  const core::ExplorationDataset logged =
+      lb::run_lb(config, random_router, lb_rng).exploration;
+  lb::SendToRouter send0(2, 0);
+  const core::ExplorationDataset shifted =
+      lb::run_lb(config, send0, lb_rng).exploration;
+
+  const DriftReport lb_drift = compute_context_drift(logged, shifted);
+  EXPECT_TRUE(lb_drift.drifted(thresholds.drift_z_max))
+      << "max z = " << lb_drift.max_z;
+  const OpeDiagnostics lb_diag = compute_logging_diagnostics(logged);
+  const auto lb_warnings = check_ope_health(lb_diag, &lb_drift, thresholds);
+  bool saw_drift_warning = false;
+  for (const auto& w : lb_warnings) {
+    if (w.code == "context-drift") saw_drift_warning = true;
+  }
+  EXPECT_TRUE(saw_drift_warning);
+
+  // --- health: two windows of the same stationary fleet process.
+  const health::Fleet fleet{health::FleetConfig{}};
+  util::Rng health_rng(29);
+  const core::FullFeedbackDataset window_a =
+      fleet.generate_dataset(2000, health_rng);
+  const core::FullFeedbackDataset window_b =
+      fleet.generate_dataset(2000, health_rng);
+  const core::UniformRandomPolicy logging(
+      health::FleetConfig{}.num_wait_actions);
+  const core::ExplorationDataset health_logged =
+      window_a.simulate_exploration(logging, health_rng);
+  const core::ExplorationDataset health_eval =
+      window_b.simulate_exploration(logging, health_rng);
+
+  const DriftReport health_drift =
+      compute_context_drift(health_logged, health_eval);
+  EXPECT_FALSE(health_drift.drifted(thresholds.drift_z_max))
+      << "max z = " << health_drift.max_z;
+  const OpeDiagnostics health_diag =
+      compute_logging_diagnostics(health_logged);
+  for (const auto& w :
+       check_ope_health(health_diag, &health_drift, thresholds)) {
+    EXPECT_NE(w.code, "context-drift") << w.message;
+  }
+}
+
+}  // namespace
+}  // namespace harvest::obs

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# CI entry point: configure, build, and run the full test suite.
+#
+#   tools/ci.sh                 # plain RelWithDebInfo build + ctest
+#   tools/ci.sh address         # ASan build + ctest
+#   tools/ci.sh undefined       # UBSan build + ctest
+#   tools/ci.sh address,undefined
+#
+# The build tree goes to build-ci[-<sanitizer>] so it never collides with a
+# developer's ./build.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SANITIZE="${1:-}"
+BUILD_DIR="build-ci"
+CMAKE_ARGS=()
+if [[ -n "$SANITIZE" ]]; then
+  BUILD_DIR="build-ci-${SANITIZE//,/-}"
+  CMAKE_ARGS+=("-DHARVEST_SANITIZE=${SANITIZE}")
+fi
+
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -12,7 +12,14 @@
 // Usage:
 //   harvest_inspect <logfile> --event decide --context x,y --action a
 //                   --reward r --actions 3 [--reward-lo 0 --reward-hi 1]
+//                   [--diagnostics] [--trace spans.jsonl]
 //   harvest_inspect --selftest        # generate and process a demo log
+//
+// --diagnostics prints the OPE-health panel: effective sample size,
+//   min propensity, importance-weight tails, and the logging-vs-evaluation
+//   context-drift statistic (the A1 stationarity check).
+// --trace FILE writes the span trace (one JSON object per line, with
+//   parent/child nesting) covering every pipeline stage that ran.
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -30,7 +37,8 @@ int usage() {
       << "usage: harvest_inspect <logfile> --event EV --context F1,F2,...\n"
          "                       --action FIELD --reward FIELD --actions N\n"
          "                       [--reward-lo X] [--reward-hi Y]\n"
-         "       harvest_inspect --selftest\n";
+         "                       [--diagnostics] [--trace FILE]\n"
+         "       harvest_inspect --selftest [--diagnostics] [--trace FILE]\n";
   return 2;
 }
 
@@ -57,10 +65,41 @@ std::string make_demo_log() {
   return out.str();
 }
 
+std::string ci_string(const core::Estimate& est) {
+  return "[" + util::format_double(est.normal_ci.lo, 4) + ", " +
+         util::format_double(est.normal_ci.hi, 4) + "]";
+}
+
+/// The --diagnostics panel: estimator-internal health of the harvested log.
+void print_diagnostics(const pipeline::HarvestReport& report) {
+  const obs::OpeDiagnostics& d = report.logging_diagnostics;
+  std::cout << "\n== OPE-health diagnostics ==\n";
+  std::cout << "effective sample size (ESS): "
+            << util::format_double(d.ess, 1) << " ("
+            << util::format_double(100 * d.ess_fraction, 1) << "% of n="
+            << d.n << ")\n";
+  std::cout << "min propensity:              "
+            << util::format_double(d.min_propensity, 4) << "\n";
+  std::cout << "max importance weight:       "
+            << util::format_double(d.max_weight, 2) << " (mean "
+            << util::format_double(d.mean_weight, 2) << ", clipped@"
+            << util::format_double(d.clip_weight, 0) << ": "
+            << util::format_double(100 * d.clipped_fraction, 2) << "%)\n";
+  if (!report.drift.features.empty()) {
+    std::cout << "context drift (A1 check):    max |z| = "
+              << util::format_double(report.drift.max_z, 2) << " on feature "
+              << report.drift.max_feature
+              << (report.warnings.empty() ? " — healthy\n" : "\n");
+  }
+  obs::print_warnings(std::cout, "inspect", report.warnings);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const util::Flags flags(argc, argv);
+  const bool diagnostics = flags.get_bool("diagnostics", false);
+  const std::string trace_path = flags.get_string("trace", "");
 
   std::string text;
   logs::ScavengeSpec spec;
@@ -107,55 +146,89 @@ int main(int argc, char** argv) {
             << " malformed lines skipped)\n";
   if (log.empty()) return 1;
 
-  // Steps 1-2: scavenge + infer.
-  const logs::ScavengeResult scavenged = logs::scavenge(log, spec);
-  std::cout << "decisions: " << scavenged.decisions_seen << ", harvested "
-            << scavenged.data.size() << " tuples, dropped "
-            << scavenged.dropped_missing_fields + scavenged.dropped_bad_action
-            << "\n";
-  if (scavenged.data.size() < 50) {
+  // Steps 1-3 through the instrumented pipeline: scavenge, infer
+  // propensities, evaluate every constant (per-action) policy.
+  pipeline::PipelineConfig config;
+  config.spec = spec;
+  config.inference = std::make_shared<core::EmpiricalPropensityModel>(
+      spec.num_actions, std::vector<std::size_t>{});
+  config.estimator = std::make_shared<core::IpsEstimator>();
+  config.obs_label = "inspect";
+  config.diagnostics_warnings = false;  // surfaced via --diagnostics instead
+
+  std::vector<core::PolicyPtr> candidates;
+  for (std::size_t a = 0; a < spec.num_actions; ++a) {
+    candidates.push_back(std::make_shared<core::ConstantPolicy>(
+        spec.num_actions, static_cast<core::ActionId>(a)));
+  }
+
+  core::ExplorationDataset data(spec.num_actions, spec.reward_range);
+  pipeline::HarvestReport report;
+  try {
+    report = pipeline::evaluate_candidates(log, config, candidates, &data);
+  } catch (const std::exception& e) {
+    std::cerr << "pipeline failed: " << e.what() << "\n";
+    return 1;
+  }
+  std::cout << "decisions: " << report.records_seen << " records seen, "
+            << "harvested " << report.decisions_harvested << " tuples, "
+            << "dropped " << report.decisions_dropped << "\n";
+  if (report.decisions_harvested < 50) {
     std::cerr << "not enough exploration data to analyze\n";
     return 1;
   }
-  core::EmpiricalPropensityModel inference(spec.num_actions, {});
-  inference.fit(scavenged.data);
-  core::ExplorationDataset data =
-      core::annotate_propensities(scavenged.data, inference);
   std::cout << "inferred propensity floor (epsilon): "
-            << util::format_double(data.min_propensity(), 4) << "\n";
+            << util::format_double(report.min_propensity, 4) << "\n";
 
   const core::BoundParams params;
   std::cout << "Eq. 1 width for evaluating 1e6 policies on this log: "
             << util::format_double(
                    core::cb_ci_width(static_cast<double>(data.size()), 1e6,
-                                     data.min_propensity(), params),
+                                     report.min_propensity, params),
                    4)
             << "\n\n";
 
   // Step 3a: per-action (constant-policy) offline estimates.
-  const core::IpsEstimator ips;
-  util::Table table({"policy", "IPS estimate", "95% CI"});
-  for (std::size_t a = 0; a < spec.num_actions; ++a) {
-    const core::ConstantPolicy constant(spec.num_actions,
-                                        static_cast<core::ActionId>(a));
-    const core::Estimate est = ips.evaluate(data, constant);
-    table.add_row({constant.name(), util::format_double(est.value, 4),
-                   "[" + util::format_double(est.normal_ci.lo, 4) + ", " +
-                       util::format_double(est.normal_ci.hi, 4) + "]"});
+  util::Table table({"policy", "IPS estimate", "95% CI", "ESS"});
+  for (const auto& candidate : report.candidates) {
+    table.add_row({candidate.policy_name,
+                   util::format_double(candidate.estimate.value, 4),
+                   ci_string(candidate.estimate),
+                   util::format_double(candidate.diagnostics.ess, 0)});
   }
 
   // Step 3b: train on half, evaluate offline on the other half.
-  util::Rng rng(7);
-  data.shuffle(rng);
-  const auto [train, test] = data.split(0.5);
-  const core::PolicyPtr cb = core::train_cb_policy(train, {});
-  const core::Estimate cb_est = ips.evaluate(test, *cb);
-  table.add_row({"trained CB policy", util::format_double(cb_est.value, 4),
-                 "[" + util::format_double(cb_est.normal_ci.lo, 4) + ", " +
-                     util::format_double(cb_est.normal_ci.hi, 4) + "]"});
+  {
+    obs::ScopedSpan span("inspect.train_and_holdout");
+    util::Rng rng(7);
+    data.shuffle(rng);
+    const auto [train, test] = data.split(0.5);
+    const core::PolicyPtr cb = [&] {
+      obs::ScopedSpan train_span("inspect.train_cb");
+      return core::train_cb_policy(train, {});
+    }();
+    obs::ScopedSpan eval_span("inspect.holdout_estimate");
+    const core::IpsEstimator ips;
+    const core::Estimate cb_est = ips.evaluate(test, *cb);
+    table.add_row({"trained CB policy", util::format_double(cb_est.value, 4),
+                   ci_string(cb_est), util::format_double(cb_est.ess, 0)});
+  }
   table.print(std::cout);
+
+  if (diagnostics) print_diagnostics(report);
 
   std::cout << "\nThe CB policy's estimate comes from held-out data — if its "
                "CI clears the incumbents', it is deployable evidence.\n";
+
+  if (!trace_path.empty()) {
+    std::ofstream trace_file(trace_path);
+    if (!trace_file) {
+      std::cerr << "cannot write trace to " << trace_path << "\n";
+      return 1;
+    }
+    obs::Tracer::global().write_jsonl(trace_file);
+    std::cout << "trace: " << obs::Tracer::global().snapshot().size()
+              << " spans written to " << trace_path << "\n";
+  }
   return 0;
 }
