@@ -1,12 +1,15 @@
 // Shared helpers for the reproduction benches: banners, paper-vs-measured
-// table assembly, and common flags (--seed, --fast, --metrics-out).
+// table assembly, and common flags (--seed, --fast, --metrics-out,
+// --threads).
 #pragma once
 
+#include <chrono>
 #include <iostream>
 #include <string>
 
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "par/thread_pool.h"
 #include "util/flags.h"
 
 namespace harvest::bench {
@@ -21,20 +24,48 @@ inline void banner(const std::string& experiment, const std::string& claim) {
                "=\n";
 }
 
-/// Common bench flags: seed, fast mode (CI-scale runs), and an optional
-/// JSONL dump of every metric the run recorded (--metrics-out run.jsonl).
+/// Common bench flags: seed, fast mode (CI-scale runs), worker threads
+/// (--threads N; 0 or 1 runs sequentially — results are bit-identical
+/// either way, see src/par/par.h), and an optional JSONL dump of every
+/// metric the run recorded (--metrics-out run.jsonl).
 struct CommonFlags {
   std::uint64_t seed = 42;
   bool fast = false;
+  std::size_t threads = 1;
   std::string metrics_out;
 
   static CommonFlags parse(const util::Flags& flags) {
     CommonFlags out;
     out.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
     out.fast = flags.get_bool("fast", false);
+    out.threads = static_cast<std::size_t>(flags.get_int("threads", 1));
     out.metrics_out = flags.get_string("metrics-out", "");
+    // Installs the process-wide pool consumed by par::default_pool() inside
+    // estimators, fitters, and the harvest pipeline.
+    par::set_default_threads(out.threads);
     return out;
   }
+};
+
+/// Wall-clock helper so benches can report/export elapsed time; the gauge
+/// lands in --metrics-out (stdout stays byte-identical across --threads).
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  /// Records the elapsed time as the `bench_wall_ms` gauge.
+  void export_gauge(const std::string& bench_name) const {
+    obs::Registry::global()
+        .gauge("bench_wall_ms", {{"bench", bench_name}})
+        .set(elapsed_ms());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
 };
 
 /// Dumps the process-wide metric registry as JSONL when --metrics-out was

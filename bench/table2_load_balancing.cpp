@@ -10,6 +10,7 @@
 
 #include "bench/bench_util.h"
 #include "harvest/harvest.h"
+#include "par/par.h"
 #include "util/string_util.h"
 #include "util/table.h"
 
@@ -48,6 +49,7 @@ lb::RouterPtr router_for(const std::string& kind, core::PolicyPtr policy) {
 int main(int argc, char** argv) {
   const util::Flags flags(argc, argv);
   const bench::CommonFlags common = bench::CommonFlags::parse(flags);
+  const bench::WallTimer timer;
 
   bench::banner(
       "Table 2: load balancing, off-policy vs online evaluation",
@@ -119,26 +121,44 @@ int main(int argc, char** argv) {
   const core::IpsEstimator ips;
   util::Table table({"Policy", "Off-policy eval (s)", "Online eval (s)",
                      "Paper off/on (s)"});
+  // Each row (offline IPS + its own online closed-loop run) is independent:
+  // the online simulations all re-seed the same arrival stream, so rows can
+  // fill result slots in parallel and the table stays byte-identical for
+  // any --threads value.
+  struct RowResult {
+    double offline_latency = 0;
+    double online_latency = 0;
+  };
+  std::vector<RowResult> results(rows.size());
+  par::parallel_for(
+      par::default_pool(), par::ShardPlan::per_item(rows.size()),
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const Row& row = rows[i];
+          const core::Estimate est = ips.evaluate(harvested, *row.policy, 0.05);
+          results[i].offline_latency = lb::reward_to_latency(est.value, cap);
+
+          util::Rng online_rng(common.seed + 1);  // same arrivals per policy
+          lb::RouterPtr router = router_for(row.router_kind, row.policy);
+          const lb::LbResult online = lb::run_lb(config, *router, online_rng);
+          results[i].online_latency = online.mean_latency;
+        }
+      });
   double offline_send1 = 0, online_send1 = 0, online_ll = 0, online_cb = 0;
-  for (const auto& row : rows) {
-    const core::Estimate est = ips.evaluate(harvested, *row.policy, 0.05);
-    const double offline_latency = lb::reward_to_latency(est.value, cap);
-
-    util::Rng online_rng(common.seed + 1);  // same arrivals for all policies
-    lb::RouterPtr router = router_for(row.router_kind, row.policy);
-    const lb::LbResult online = lb::run_lb(config, *router, online_rng);
-
-    table.add_row({row.label, util::format_double(offline_latency, 2),
-                   util::format_double(online.mean_latency, 2),
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    const RowResult& res = results[i];
+    table.add_row({row.label, util::format_double(res.offline_latency, 2),
+                   util::format_double(res.online_latency, 2),
                    util::format_double(row.paper_offline, 2) + " / " +
                        util::format_double(row.paper_online, 2)});
 
     if (row.label == "Send to 1") {
-      offline_send1 = offline_latency;
-      online_send1 = online.mean_latency;
+      offline_send1 = res.offline_latency;
+      online_send1 = res.online_latency;
     }
-    if (row.label == "Least loaded") online_ll = online.mean_latency;
-    if (row.label == "CB policy") online_cb = online.mean_latency;
+    if (row.label == "Least loaded") online_ll = res.online_latency;
+    if (row.label == "CB policy") online_cb = res.online_latency;
   }
   table.print(std::cout);
 
@@ -151,6 +171,7 @@ int main(int argc, char** argv) {
             << "] CB policy beats least-loaded online ("
             << util::format_double(online_cb, 2) << "s vs "
             << util::format_double(online_ll, 2) << "s)\n";
+  timer.export_gauge("table2_load_balancing");
   bench::export_metrics(common);
   return 0;
 }

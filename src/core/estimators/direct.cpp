@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "par/parallel.h"
+
 namespace harvest::core {
 
 namespace {
@@ -36,11 +38,18 @@ Estimate DirectMethodEstimator::evaluate(const ExplorationDataset& data,
                                          const Policy& policy,
                                          double delta) const {
   check_compatible(data, policy, *model_);
-  std::vector<double> contributions;
-  contributions.reserve(data.size());
-  for (const auto& pt : data.points()) {
-    contributions.push_back(expected_model_reward(*model_, policy, pt.context));
-  }
+  // The per-point model sweep (|A| predictions per context) dominates; each
+  // shard fills its own contribution slots, so the parallel fill is
+  // bit-identical to the sequential one.
+  const auto& pts = data.points();
+  std::vector<double> contributions(pts.size());
+  par::parallel_for(par::default_pool(), par::ShardPlan::fixed(pts.size()),
+                    [&](std::size_t, std::size_t begin, std::size_t end) {
+                      for (std::size_t i = begin; i < end; ++i) {
+                        contributions[i] = expected_model_reward(
+                            *model_, policy, pts[i].context);
+                      }
+                    });
   return finish(contributions, data.size(), delta,
                 data.reward_range().width());
 }
@@ -54,23 +63,37 @@ Estimate DoublyRobustEstimator::evaluate(const ExplorationDataset& data,
                                          const Policy& policy,
                                          double delta) const {
   check_compatible(data, policy, *model_);
-  std::vector<double> contributions;
-  contributions.reserve(data.size());
-  std::size_t matched = 0;
-  double max_abs = 0;
-  for (const auto& pt : data.points()) {
-    const double dm = expected_model_reward(*model_, policy, pt.context);
-    const double pi_a = policy.probability(pt.context, pt.action);
-    if (pi_a > 0) ++matched;
-    const double correction =
-        pi_a / pt.propensity *
-        (pt.reward - model_->predict(pt.context, pt.action));
-    contributions.push_back(dm + correction);
-    max_abs = std::max(max_abs, std::abs(dm + correction));
-  }
+  const auto& pts = data.points();
+  std::vector<double> contributions(pts.size());
+  struct Partial {
+    std::size_t matched = 0;
+    double max_abs = 0;
+  };
+  const Partial tally = par::parallel_reduce(
+      par::default_pool(), par::ShardPlan::fixed(pts.size()), Partial{},
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        Partial p;
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto& pt = pts[i];
+          const double dm = expected_model_reward(*model_, policy, pt.context);
+          const double pi_a = policy.probability(pt.context, pt.action);
+          if (pi_a > 0) ++p.matched;
+          const double correction =
+              pi_a / pt.propensity *
+              (pt.reward - model_->predict(pt.context, pt.action));
+          contributions[i] = dm + correction;
+          p.max_abs = std::max(p.max_abs, std::abs(dm + correction));
+        }
+        return p;
+      },
+      [](Partial acc, const Partial& p) {
+        acc.matched += p.matched;
+        acc.max_abs = std::max(acc.max_abs, p.max_abs);
+        return acc;
+      });
   const double range =
-      std::max(data.reward_range().width(), 2 * max_abs);
-  return finish(contributions, matched, delta, range);
+      std::max(data.reward_range().width(), 2 * tally.max_abs);
+  return finish(contributions, tally.matched, delta, range);
 }
 
 }  // namespace harvest::core

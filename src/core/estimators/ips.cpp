@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "par/parallel.h"
+
 namespace harvest::core {
 
 namespace {
@@ -15,28 +17,51 @@ void check_compatible(const ExplorationDataset& data, const Policy& policy) {
 }
 }  // namespace
 
+// All three estimators are parallelized the same way: the expensive per-point
+// work (policy.probability) fills pre-sized contribution/weight slots over a
+// thread-count-independent shard plan, while the order-sensitive per-shard
+// tallies (matched/clipped counts, max weights) merge in shard order.
+// Integer sums and max are exact under any association, and the final
+// moment/CI pass runs sequentially over the filled vectors, so results are
+// bit-identical for any --threads value.
+
 Estimate IpsEstimator::evaluate(const ExplorationDataset& data,
                                 const Policy& policy, double delta) const {
   check_compatible(data, policy);
-  std::vector<double> contributions, weights;
-  contributions.reserve(data.size());
-  weights.reserve(data.size());
-  std::size_t matched = 0;
-  double max_contribution = 0;
-  for (const auto& pt : data.points()) {
-    const double pi_a = policy.probability(pt.context, pt.action);
-    const double w = pi_a / pt.propensity;
-    if (pi_a > 0) ++matched;
-    contributions.push_back(w * pt.reward);
-    weights.push_back(w);
-    max_contribution = std::max(max_contribution, std::abs(w * pt.reward));
-  }
+  const auto& pts = data.points();
+  std::vector<double> contributions(pts.size()), weights(pts.size());
+  struct Partial {
+    std::size_t matched = 0;
+    double max_contribution = 0;
+  };
+  const Partial tally = par::parallel_reduce(
+      par::default_pool(), par::ShardPlan::fixed(pts.size()), Partial{},
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        Partial p;
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto& pt = pts[i];
+          const double pi_a = policy.probability(pt.context, pt.action);
+          const double w = pi_a / pt.propensity;
+          if (pi_a > 0) ++p.matched;
+          contributions[i] = w * pt.reward;
+          weights[i] = w;
+          p.max_contribution =
+              std::max(p.max_contribution, std::abs(w * pt.reward));
+        }
+        return p;
+      },
+      [](Partial acc, const Partial& p) {
+        acc.matched += p.matched;
+        acc.max_contribution = std::max(acc.max_contribution,
+                                        p.max_contribution);
+        return acc;
+      });
   // The per-point contribution range for the Bernstein CI: rewards scaled by
   // importance weights can exceed the raw reward range by 1/min_p.
   const double range = std::max(
       data.reward_range().width() / std::max(data.min_propensity(), 1e-12),
-      max_contribution);
-  Estimate est = finish(contributions, matched, delta, range);
+      tally.max_contribution);
+  Estimate est = finish(contributions, tally.matched, delta, range);
   attach_weight_diagnostics(est, weights);
   return est;
 }
@@ -52,25 +77,38 @@ Estimate ClippedIpsEstimator::evaluate(const ExplorationDataset& data,
                                        const Policy& policy,
                                        double delta) const {
   check_compatible(data, policy);
-  std::vector<double> contributions, weights;
-  contributions.reserve(data.size());
-  weights.reserve(data.size());
-  std::size_t matched = 0;
-  std::size_t clipped = 0;
-  for (const auto& pt : data.points()) {
-    const double pi_a = policy.probability(pt.context, pt.action);
-    const double raw = pi_a / pt.propensity;
-    const double w = std::min(raw, max_weight_);
-    if (raw > max_weight_) ++clipped;
-    if (pi_a > 0) ++matched;
-    contributions.push_back(w * pt.reward);
-    weights.push_back(w);
-  }
+  const auto& pts = data.points();
+  std::vector<double> contributions(pts.size()), weights(pts.size());
+  struct Partial {
+    std::size_t matched = 0;
+    std::size_t clipped = 0;
+  };
+  const Partial tally = par::parallel_reduce(
+      par::default_pool(), par::ShardPlan::fixed(pts.size()), Partial{},
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        Partial p;
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto& pt = pts[i];
+          const double pi_a = policy.probability(pt.context, pt.action);
+          const double raw = pi_a / pt.propensity;
+          const double w = std::min(raw, max_weight_);
+          if (raw > max_weight_) ++p.clipped;
+          if (pi_a > 0) ++p.matched;
+          contributions[i] = w * pt.reward;
+          weights[i] = w;
+        }
+        return p;
+      },
+      [](Partial acc, const Partial& p) {
+        acc.matched += p.matched;
+        acc.clipped += p.clipped;
+        return acc;
+      });
   const double range = data.reward_range().width() * max_weight_;
-  Estimate est = finish(contributions, matched, delta, range);
+  Estimate est = finish(contributions, tally.matched, delta, range);
   attach_weight_diagnostics(est, weights);
   est.clipped_fraction =
-      static_cast<double>(clipped) / static_cast<double>(data.size());
+      static_cast<double>(tally.clipped) / static_cast<double>(data.size());
   return est;
 }
 
@@ -81,20 +119,31 @@ std::string ClippedIpsEstimator::name() const {
 Estimate SnipsEstimator::evaluate(const ExplorationDataset& data,
                                   const Policy& policy, double delta) const {
   check_compatible(data, policy);
+  const auto& pts = data.points();
+  std::vector<double> weights(pts.size()), rewards(pts.size());
+  const std::size_t matched = par::parallel_reduce(
+      par::default_pool(), par::ShardPlan::fixed(pts.size()),
+      std::size_t{0},
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        std::size_t m = 0;
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto& pt = pts[i];
+          const double pi_a = policy.probability(pt.context, pt.action);
+          if (pi_a > 0) ++m;
+          weights[i] = pi_a / pt.propensity;
+          rewards[i] = pt.reward;
+        }
+        return m;
+      },
+      [](std::size_t acc, std::size_t m) { return acc + m; });
+  // The weight sums stay sequential over the filled vectors: O(n) adds are
+  // cheap, and summing in point order keeps the value bit-stable across
+  // both thread counts and refactors of the shard plan.
   double weight_sum = 0;
   double weighted_reward_sum = 0;
-  std::size_t matched = 0;
-  std::vector<double> weights, rewards;
-  weights.reserve(data.size());
-  rewards.reserve(data.size());
-  for (const auto& pt : data.points()) {
-    const double pi_a = policy.probability(pt.context, pt.action);
-    const double w = pi_a / pt.propensity;
-    if (pi_a > 0) ++matched;
-    weight_sum += w;
-    weighted_reward_sum += w * pt.reward;
-    weights.push_back(w);
-    rewards.push_back(pt.reward);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weight_sum += weights[i];
+    weighted_reward_sum += weights[i] * rewards[i];
   }
   Estimate est;
   est.n = data.size();

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "par/parallel.h"
+
 namespace harvest::core {
 
 RidgeRewardModel::RidgeRewardModel(std::size_t num_actions, std::size_t dim,
@@ -39,6 +41,28 @@ void RidgeRewardModel::observe(const FeatureVector& x, ActionId a,
   }
   pa.total_weight += weight;
   pa.fitted = false;
+}
+
+void RidgeRewardModel::merge_observations(const RidgeRewardModel& other) {
+  if (other.per_action_.size() != per_action_.size() ||
+      other.dim_with_bias_ != dim_with_bias_ || other.lambda_ != lambda_) {
+    throw std::invalid_argument(
+        "RidgeRewardModel::merge_observations: shape/lambda mismatch");
+  }
+  for (std::size_t a = 0; a < per_action_.size(); ++a) {
+    auto& pa = per_action_[a];
+    const auto& opa = other.per_action_[a];
+    for (std::size_t i = 0; i < dim_with_bias_; ++i) {
+      for (std::size_t j = 0; j < dim_with_bias_; ++j) {
+        // Subtract the other model's lambda*I so the prior enters once.
+        const double prior = i == j ? lambda_ : 0.0;
+        pa.xtx.at(i, j) += opa.xtx.at(i, j) - prior;
+      }
+      pa.xty[i] += opa.xty[i];
+    }
+    pa.total_weight += opa.total_weight;
+    pa.fitted = false;
+  }
 }
 
 void RidgeRewardModel::fit() {
@@ -120,15 +144,31 @@ double SgdRewardModel::predict(const FeatureVector& x, ActionId a) const {
   return x.with_bias().dot(weights_[a]);
 }
 
+// Both fitters accumulate X^T W X / X^T W y in per-shard models and merge
+// them in shard order. The shard plan depends only on n, so the fitted
+// coefficients are identical for any --threads value.
+
 RidgeRewardModel fit_ridge(const ExplorationDataset& data, double lambda,
                            bool importance_weighted) {
   if (data.empty()) throw std::invalid_argument("fit_ridge: empty data");
   const std::size_t dim = data[0].context.size();
-  RidgeRewardModel model(data.num_actions(), dim, lambda);
-  for (const auto& pt : data.points()) {
-    const double w = importance_weighted ? 1.0 / pt.propensity : 1.0;
-    model.observe(pt.context, pt.action, pt.reward, w);
-  }
+  const auto& pts = data.points();
+  RidgeRewardModel model = par::parallel_reduce(
+      par::default_pool(), par::ShardPlan::fixed(pts.size()),
+      RidgeRewardModel(data.num_actions(), dim, lambda),
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        RidgeRewardModel shard(data.num_actions(), dim, lambda);
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto& pt = pts[i];
+          const double w = importance_weighted ? 1.0 / pt.propensity : 1.0;
+          shard.observe(pt.context, pt.action, pt.reward, w);
+        }
+        return shard;
+      },
+      [](RidgeRewardModel acc, const RidgeRewardModel& shard) {
+        acc.merge_observations(shard);
+        return acc;
+      });
   model.fit();
   return model;
 }
@@ -137,12 +177,25 @@ RidgeRewardModel fit_ridge_full(const FullFeedbackDataset& data,
                                 double lambda) {
   if (data.empty()) throw std::invalid_argument("fit_ridge_full: empty data");
   const std::size_t dim = data[0].context.size();
-  RidgeRewardModel model(data.num_actions(), dim, lambda);
-  for (const auto& pt : data.points()) {
-    for (std::size_t a = 0; a < data.num_actions(); ++a) {
-      model.observe(pt.context, static_cast<ActionId>(a), pt.rewards[a]);
-    }
-  }
+  const auto& pts = data.points();
+  const std::size_t num_actions = data.num_actions();
+  RidgeRewardModel model = par::parallel_reduce(
+      par::default_pool(), par::ShardPlan::fixed(pts.size()),
+      RidgeRewardModel(num_actions, dim, lambda),
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        RidgeRewardModel shard(num_actions, dim, lambda);
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto& pt = pts[i];
+          for (std::size_t a = 0; a < num_actions; ++a) {
+            shard.observe(pt.context, static_cast<ActionId>(a), pt.rewards[a]);
+          }
+        }
+        return shard;
+      },
+      [](RidgeRewardModel acc, const RidgeRewardModel& shard) {
+        acc.merge_observations(shard);
+        return acc;
+      });
   model.fit();
   return model;
 }

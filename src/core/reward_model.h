@@ -40,6 +40,13 @@ class RidgeRewardModel final : public RewardModel {
   /// re-fitting after more observations is allowed).
   void fit();
 
+  /// Folds another model's accumulated observations into this one without
+  /// double-counting the ridge prior. Both models must share num_actions,
+  /// dim, and lambda. Lets callers accumulate sufficient statistics in
+  /// per-shard models and merge them in a fixed order, which keeps the fit
+  /// deterministic for any thread count.
+  void merge_observations(const RidgeRewardModel& other);
+
   double predict(const FeatureVector& x, ActionId a) const override;
   std::size_t num_actions() const override { return per_action_.size(); }
   std::string name() const override { return "ridge"; }

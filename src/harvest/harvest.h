@@ -32,6 +32,9 @@
 #include "harvest/loop.h"
 #include "harvest/pipeline.h"
 
+// Deterministic parallel execution (thread pool, sharded loops/RNG).
+#include "par/par.h"
+
 // Observability: labeled metrics, span tracing, OPE-health diagnostics.
 #include "obs/obs.h"
 

@@ -7,6 +7,7 @@
 #include "core/policies/basic.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "par/parallel.h"
 
 namespace harvest::pipeline {
 
@@ -52,8 +53,17 @@ LoopResult run_continuous_loop(const LoopConfig& config,
     LoopRound round;
     round.iteration = it;
     round.harvested = harvested.size();
-    double reward_sum = 0;
-    for (const auto& pt : harvested.points()) reward_sum += pt.reward;
+    // Shard-order reduction: the round reward is fixed for any --threads
+    // value (the shard plan depends only on the point count).
+    const auto& pts = harvested.points();
+    const double reward_sum = par::parallel_reduce(
+        par::default_pool(), par::ShardPlan::fixed(pts.size()), 0.0,
+        [&](std::size_t, std::size_t begin, std::size_t end) {
+          double s = 0;
+          for (std::size_t i = begin; i < end; ++i) s += pts[i].reward;
+          return s;
+        },
+        [](double acc, double s) { return acc + s; });
     round.mean_reward = reward_sum / static_cast<double>(harvested.size());
     round.deployed = deployed;
     result.rounds.push_back(round);

@@ -5,6 +5,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "par/parallel.h"
 
 namespace harvest::pipeline {
 
@@ -85,18 +86,28 @@ HarvestReport evaluate_candidates(
   }
   run_diagnostics(data, config, report);
 
-  // Step 3: evaluate all candidates offline.
+  // Step 3: evaluate all candidates offline. Candidates are independent, so
+  // each one fills its own report slot in parallel; when evaluation runs on
+  // a worker thread the estimator's inner parallel loops execute inline,
+  // which keeps per-candidate results identical to a sequential run.
   {
     obs::ScopedSpan span("pipeline.estimate");
     for (const auto& policy : candidates) {
       if (!policy) throw std::invalid_argument("null candidate policy");
-      CandidateReport candidate;
-      candidate.policy_name = policy->name();
-      candidate.estimate = config.estimator->evaluate(data, *policy,
-                                                      config.delta);
-      candidate.diagnostics = obs::compute_ope_diagnostics(data, *policy);
-      report.candidates.push_back(std::move(candidate));
     }
+    report.candidates.resize(candidates.size());
+    par::parallel_for(
+        par::default_pool(), par::ShardPlan::per_item(candidates.size()),
+        [&](std::size_t, std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            const core::Policy& policy = *candidates[i];
+            CandidateReport& candidate = report.candidates[i];
+            candidate.policy_name = policy.name();
+            candidate.estimate =
+                config.estimator->evaluate(data, policy, config.delta);
+            candidate.diagnostics = obs::compute_ope_diagnostics(data, policy);
+          }
+        });
   }
   obs::Registry::global()
       .counter("harvest_candidates_evaluated_total", pipeline_labels(config))

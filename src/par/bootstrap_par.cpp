@@ -1,0 +1,57 @@
+#include "par/bootstrap_par.h"
+
+#include <stdexcept>
+
+#include "par/parallel.h"
+#include "par/sharded_rng.h"
+#include "stats/quantile.h"
+
+namespace harvest::par {
+
+std::vector<double> bootstrap_replicates(ThreadPool* pool, std::size_t n,
+                                         const stats::IndexStatistic& stat,
+                                         std::size_t replicates,
+                                         std::uint64_t seed) {
+  if (n == 0) throw std::invalid_argument("bootstrap: empty dataset");
+  if (replicates == 0) throw std::invalid_argument("bootstrap: 0 replicates");
+  std::vector<double> out(replicates);
+  const ShardedRng streams(seed);
+  // A shard is a run of replicates; each replicate still uses its own
+  // stream, so the grouping is purely a scheduling grain.
+  const ShardPlan plan = ShardPlan::fixed(replicates, /*min_per_shard=*/8);
+  parallel_for(pool, plan,
+               [&](std::size_t, std::size_t begin, std::size_t end) {
+                 std::vector<std::size_t> indices(n);
+                 for (std::size_t r = begin; r < end; ++r) {
+                   util::Rng rng = streams.stream(r);
+                   for (auto& idx : indices) idx = rng.uniform_index(n);
+                   out[r] = stat(indices);
+                 }
+               });
+  return out;
+}
+
+stats::Interval bootstrap_interval(ThreadPool* pool, std::size_t n,
+                                   const stats::IndexStatistic& stat,
+                                   std::size_t replicates, double delta,
+                                   std::uint64_t seed) {
+  const auto reps = bootstrap_replicates(pool, n, stat, replicates, seed);
+  return {stats::quantile(reps, delta / 2),
+          stats::quantile(reps, 1 - delta / 2)};
+}
+
+stats::Interval bootstrap_mean_interval(ThreadPool* pool,
+                                        std::span<const double> values,
+                                        std::size_t replicates, double delta,
+                                        std::uint64_t seed) {
+  const stats::IndexStatistic mean_stat =
+      [values](std::span<const std::size_t> idx) {
+        double sum = 0;
+        for (std::size_t i : idx) sum += values[i];
+        return sum / static_cast<double>(idx.size());
+      };
+  return bootstrap_interval(pool, values.size(), mean_stat, replicates, delta,
+                            seed);
+}
+
+}  // namespace harvest::par

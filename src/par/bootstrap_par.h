@@ -1,0 +1,36 @@
+// Deterministic parallel bootstrap: one resample per task, each replicate
+// drawing its indices from an independent stream derived from (seed,
+// replicate index) via par::ShardedRng. Results are bit-identical for any
+// thread count — unlike the sequential stats::bootstrap_* API, where a
+// single shared Rng makes replicate r depend on replicates 0..r-1.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "par/thread_pool.h"
+#include "stats/bootstrap.h"
+#include "stats/ci.h"
+
+namespace harvest::par {
+
+/// All replicate statistics, replicate r computed from stream r of `seed`.
+std::vector<double> bootstrap_replicates(ThreadPool* pool, std::size_t n,
+                                         const stats::IndexStatistic& stat,
+                                         std::size_t replicates,
+                                         std::uint64_t seed);
+
+/// Percentile-bootstrap [delta/2, 1-delta/2] interval.
+stats::Interval bootstrap_interval(ThreadPool* pool, std::size_t n,
+                                   const stats::IndexStatistic& stat,
+                                   std::size_t replicates, double delta,
+                                   std::uint64_t seed);
+
+/// Convenience: bootstrap interval for the mean of raw values.
+stats::Interval bootstrap_mean_interval(ThreadPool* pool,
+                                        std::span<const double> values,
+                                        std::size_t replicates, double delta,
+                                        std::uint64_t seed);
+
+}  // namespace harvest::par

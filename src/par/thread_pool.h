@@ -1,0 +1,135 @@
+// Fixed-size work-stealing thread pool — the execution substrate for the
+// deterministic parallel layer (par/parallel.h). std::thread + mutexes +
+// one condition variable only; no external dependencies.
+//
+// Design notes:
+//  - Each worker owns a deque. A worker pops its own queue LIFO (cache-warm)
+//    and steals from other queues FIFO (oldest task first), which keeps
+//    sibling subtrees of a fork roughly in submission order.
+//  - Submissions from outside the pool round-robin across worker queues;
+//    submissions from a worker thread go to that worker's own queue.
+//  - The pool NEVER influences results: everything scheduled through
+//    par::parallel_for / parallel_reduce writes to pre-assigned shard slots
+//    and merges in shard order, so outputs are bit-identical no matter how
+//    many threads execute the shards (see parallel.h).
+//  - ~ThreadPool drains: all tasks submitted before destruction run to
+//    completion before the workers join.
+//
+// Exception contract: tasks submitted through bare submit() must not throw
+// (an escaping exception terminates, as with std::thread). Use TaskGroup or
+// parallel_for, which capture the first exception and rethrow it on the
+// waiting thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace harvest::par {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Drains every queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task. Safe to call from worker threads (nested submit).
+  void submit(std::function<void()> task);
+
+  /// Runs one queued task on the calling thread if any is available.
+  /// Returns false when every queue is empty. Used by waiting threads to
+  /// help instead of blocking (work-helping join).
+  bool try_run_one();
+
+  /// True when the calling thread is a worker of *any* ThreadPool. Parallel
+  /// constructs use this to run nested parallelism inline instead of
+  /// re-entering the pool (prevents deadlock and queue blow-up).
+  static bool on_worker_thread();
+
+  /// Tasks submitted but not yet started (approximate; for the
+  /// par_queue_depth gauge).
+  std::size_t pending() const;
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(std::size_t index);
+  bool pop_or_steal(std::size_t self, std::function<void()>& out);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex cv_mu_;
+  std::condition_variable cv_;
+  std::size_t pending_ = 0;  // guarded by cv_mu_
+  bool stop_ = false;        // guarded by cv_mu_
+  std::size_t next_queue_ = 0;  // round-robin cursor, guarded by cv_mu_
+};
+
+/// Collects dynamically-submitted tasks and waits for all of them,
+/// rethrowing the first captured exception. When constructed with a null
+/// pool — or on a worker thread — tasks run inline at run() (exceptions are
+/// still deferred to wait(), so control flow is pool-independent).
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool);
+  ~TaskGroup();  // waits (exceptions swallowed if wait() was not called)
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void run(std::function<void()> fn);
+
+  /// Blocks until every run() task finished; helps execute pool tasks while
+  /// waiting. Rethrows the first exception thrown by a task.
+  void wait();
+
+ private:
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t outstanding = 0;
+    std::exception_ptr error;
+  };
+
+  ThreadPool* pool_;
+  std::shared_ptr<State> state_;
+  bool waited_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Process-wide default pool.
+//
+// `--threads N` (benches/tools) maps to set_default_threads(N): N of total
+// concurrency including the submitting thread, so the pool holds N-1
+// workers. N <= 1 (or never calling this) means no pool: every par::
+// construct runs sequentially on the calling thread. Results are identical
+// either way — only wall-clock changes.
+// ---------------------------------------------------------------------------
+
+/// (Re)configures the process-wide pool. Not safe to call while parallel
+/// work is in flight; call once at startup (flag parsing) or between runs.
+void set_default_threads(std::size_t total_threads);
+
+/// The configured pool, or nullptr when running sequentially.
+ThreadPool* default_pool();
+
+/// Total configured concurrency (pool workers + caller); 1 when no pool.
+std::size_t default_threads();
+
+}  // namespace harvest::par

@@ -29,4 +29,17 @@ std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value) {
   return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
 }
 
+std::uint64_t mix64(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t derive_stream_seed(std::uint64_t root, std::uint64_t stream) {
+  // Mix the root first so adjacent roots land far apart, then fold in the
+  // golden-ratio-spaced stream index and mix again for full avalanche over
+  // the pair. Two rounds of mix64 ≈ one splitmix64 step per argument.
+  return mix64(mix64(root) ^ (stream * 0x9e3779b97f4a7c15ULL));
+}
+
 }  // namespace harvest::util

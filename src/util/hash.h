@@ -17,4 +17,16 @@ std::uint64_t fnv1a64(std::uint64_t value);
 /// Boost-style combiner for building composite hashes.
 std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value);
 
+/// Stateless splitmix64 finalizer: full-avalanche 64-bit mixing (every input
+/// bit flips each output bit with probability ~1/2). This is the mixing step
+/// of util::splitmix64 without the sequence increment.
+std::uint64_t mix64(std::uint64_t x);
+
+/// Derives the seed of sub-stream `stream` from `root` with splitmix-style
+/// mixing of BOTH arguments. Adjacent roots and adjacent streams yield
+/// uncorrelated seeds, and — unlike the naive `root + stream` — streams of
+/// different roots never collide structurally (naive derivation makes
+/// (root, stream+1) identical to (root+1, stream)). Used by par::ShardedRng.
+std::uint64_t derive_stream_seed(std::uint64_t root, std::uint64_t stream);
+
 }  // namespace harvest::util

@@ -12,52 +12,14 @@
 #include "core/policies/basic.h"
 #include "core/reward_model.h"
 #include "stats/summary.h"
+#include "testing/fixtures.h"
 
 namespace harvest::core {
 namespace {
 
-/// Synthetic environment: 3 actions, reward of action a for context x is a
-/// known deterministic function; context scalar drawn uniform in [0,1].
-FullFeedbackDataset make_environment(std::size_t n, util::Rng& rng) {
-  FullFeedbackDataset data(3, RewardRange{0, 1});
-  for (std::size_t i = 0; i < n; ++i) {
-    const double x = rng.uniform();
-    data.add(FullFeedbackPoint{
-        FeatureVector{x},
-        {0.5 * x + 0.2, 0.9 - 0.6 * x, 0.5}});
-  }
-  return data;
-}
-
-PolicyPtr make_logging_policy(int kind) {
-  switch (kind) {
-    case 0:
-      return std::make_shared<UniformRandomPolicy>(3);
-    case 1:
-      return std::make_shared<EpsilonGreedyPolicy>(
-          std::make_shared<ConstantPolicy>(3, 1), 0.3);
-    default: {
-      // Context-dependent randomized logging.
-      auto base = std::make_shared<FunctionPolicy>(
-          3, [](const FeatureVector& x) { return x[0] > 0.5 ? 0u : 2u; },
-          "ctx-split");
-      return std::make_shared<EpsilonGreedyPolicy>(base, 0.5);
-    }
-  }
-}
-
-PolicyPtr make_candidate_policy(int kind) {
-  switch (kind) {
-    case 0:
-      return std::make_shared<ConstantPolicy>(3, 0);
-    case 1:
-      return std::make_shared<FunctionPolicy>(
-          3, [](const FeatureVector& x) { return x[0] > 0.4 ? 0u : 1u; },
-          "threshold");
-    default:
-      return std::make_shared<UniformRandomPolicy>(3);
-  }
-}
+using harvest::testing::make_candidate_policy;
+using harvest::testing::make_environment;
+using harvest::testing::make_logging_policy;
 
 using Combo = std::tuple<int, int>;  // (logging kind, candidate kind)
 

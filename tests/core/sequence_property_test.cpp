@@ -10,41 +10,13 @@
 #include "core/estimators/sequence.h"
 #include "core/policies/basic.h"
 #include "stats/summary.h"
+#include "testing/fixtures.h"
 
 namespace harvest::core {
 namespace {
 
-/// Chain environment with context feedback: the context counts how many of
-/// the last steps chose action 1 (normalized). Rewards depend on both the
-/// action and that action-history context, so stepwise IPS is biased for
-/// any policy whose action frequencies differ from the logging policy's.
-TrajectoryDataset simulate_chain(std::size_t episodes, std::size_t horizon,
-                                 double p1, util::Rng& rng) {
-  TrajectoryDataset data(2, {0.0, 1.0});
-  for (std::size_t e = 0; e < episodes; ++e) {
-    Trajectory t;
-    double ones = 0;
-    for (std::size_t s = 0; s < horizon; ++s) {
-      const double load = s == 0 ? 0.0 : ones / static_cast<double>(s);
-      const ActionId a = rng.bernoulli(p1) ? 1 : 0;
-      // Action 1 is attractive in isolation but degrades the chain.
-      const double r = a == 1 ? 0.9 - 0.5 * load : 0.4 + 0.1 * load;
-      t.steps.push_back(
-          {FeatureVector{load}, a, r, a == 1 ? p1 : 1.0 - p1});
-      ones += a == 1 ? 1.0 : 0.0;
-    }
-    data.add(std::move(t));
-  }
-  return data;
-}
-
-/// Exact value of always-1 in the chain of horizon H:
-/// load_t = t/t = 1 for t >= 1 (all previous were 1), load_0 = 0.
-double truth_always1(std::size_t horizon) {
-  double total = 0.9;  // step 0: load 0
-  for (std::size_t s = 1; s < horizon; ++s) total += 0.9 - 0.5;
-  return total / static_cast<double>(horizon);
-}
+using harvest::testing::simulate_chain;
+using harvest::testing::truth_always1;
 
 using Case = std::tuple<std::size_t, double>;  // (horizon, logging p1)
 

@@ -1,0 +1,255 @@
+// Thread-count invariance of the full stack: pipeline, estimators, and
+// trained models must produce BIT-IDENTICAL numbers at --threads 1, 2, and
+// 8 on fixed-seed fleet / load-balancer / cache logs. Doubles are compared
+// with EXPECT_EQ (exact equality), not tolerances — any reordering of
+// floating-point work across threads fails here.
+//
+// A frozen golden CSV (tests/golden/fig3_golden.csv, %.17g) additionally
+// pins a miniature fig3-style sweep across commits: a change to RNG stream
+// derivation, shard planning, or estimator arithmetic shows up as a diff.
+// Regenerate deliberately with HARVEST_REGEN_GOLDEN=1.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harvest/harvest.h"
+#include "stats/quantile.h"
+#include "testing/fixtures.h"
+#include "util/hash.h"
+
+#ifndef HARVEST_TEST_SOURCE_DIR
+#error "HARVEST_TEST_SOURCE_DIR must point at the tests/ source directory"
+#endif
+
+namespace harvest {
+namespace {
+
+/// Flattens every number a scenario produces into one vector so runs can be
+/// compared element-by-element.
+void push_estimate(std::vector<double>& sig, const core::Estimate& est) {
+  sig.push_back(est.value);
+  sig.push_back(est.stderr_value);
+  sig.push_back(static_cast<double>(est.matched));
+  sig.push_back(est.normal_ci.lo);
+  sig.push_back(est.normal_ci.hi);
+  sig.push_back(est.bernstein_ci.lo);
+  sig.push_back(est.bernstein_ci.hi);
+  sig.push_back(est.ess);
+  sig.push_back(est.max_weight);
+  sig.push_back(est.clipped_fraction);
+}
+
+/// Fleet scenario: harvested exploration log -> IPS/SNIPS/DR estimates and
+/// the trained policy's ridge weights.
+std::vector<double> run_fleet_scenario() {
+  std::vector<double> sig;
+  const health::Fleet fleet((health::FleetConfig()));
+  util::Rng rng(11);
+  const core::FullFeedbackDataset pool = fleet.generate_dataset(3000, rng);
+  const core::UniformRandomPolicy logging(
+      health::FleetConfig().num_wait_actions);
+  const core::ExplorationDataset exp =
+      pool.simulate_exploration(logging, rng);
+
+  const auto [policy, model] = core::train_cb_policy_with_model(exp, {});
+  const auto* ridge =
+      dynamic_cast<const core::RidgeRewardModel*>(model.get());
+  if (ridge == nullptr) {
+    ADD_FAILURE() << "trained model is not a RidgeRewardModel";
+    return sig;
+  }
+  for (std::size_t a = 0; a < ridge->num_actions(); ++a) {
+    for (double w : ridge->weights(static_cast<core::ActionId>(a))) {
+      sig.push_back(w);
+    }
+  }
+
+  const core::IpsEstimator ips;
+  const core::SnipsEstimator snips;
+  const core::DoublyRobustEstimator dr(model);
+  push_estimate(sig, ips.evaluate(exp, *policy));
+  push_estimate(sig, snips.evaluate(exp, *policy));
+  push_estimate(sig, dr.evaluate(exp, *policy));
+  return sig;
+}
+
+/// LB scenario: full 3-step pipeline over a scavenged routing log.
+std::vector<double> run_lb_scenario() {
+  std::vector<double> sig;
+  lb::LbConfig config = lb::fig5_config();
+  config.num_requests = 6000;
+  config.warmup_requests = 500;
+  util::Rng rng(21);
+  lb::RandomRouter logging(2);
+  const lb::LbResult logged = lb::run_lb(config, logging, rng);
+
+  pipeline::PipelineConfig pconfig;
+  pconfig.spec.decision_event = "route";
+  pconfig.spec.context_fields = {"conns0", "conns1", "heavy"};
+  pconfig.spec.action_field = "server";
+  pconfig.spec.reward_field = "latency";
+  pconfig.spec.num_actions = 2;
+  pconfig.spec.reward_range = {0.0, 1.0};
+  const double cap = config.latency_cap;
+  pconfig.spec.reward_transform = [cap](double lat) {
+    return lb::latency_to_reward(lat, cap);
+  };
+  pconfig.inference = std::make_shared<core::EmpiricalPropensityModel>(
+      2, std::vector<std::size_t>{});
+  pconfig.estimator = std::make_shared<core::IpsEstimator>();
+  pconfig.diagnostics_warnings = false;
+
+  const std::vector<core::PolicyPtr> candidates{
+      std::make_shared<core::UniformRandomPolicy>(2),
+      std::make_shared<core::ConstantPolicy>(2, 0),
+      std::make_shared<core::FunctionPolicy>(
+          2,
+          [](const core::FeatureVector& x) { return x[0] <= x[1] ? 0u : 1u; },
+          "least-loaded"),
+  };
+  const pipeline::HarvestReport report = pipeline::evaluate_candidates(
+      logged.log.roundtrip(), pconfig, candidates);
+  sig.push_back(report.min_propensity);
+  sig.push_back(report.eq1_width);
+  for (const auto& candidate : report.candidates) {
+    push_estimate(sig, candidate.estimate);
+    sig.push_back(candidate.diagnostics.ess);
+  }
+  return sig;
+}
+
+/// Cache scenario: eviction harvesting + CB eviction model coefficients.
+std::vector<double> run_cache_scenario() {
+  std::vector<double> sig;
+  cache::BigSmallWorkload workload({});
+  cache::CacheConfig config = cache::table3_config(workload);
+  config.num_requests = 30000;
+  config.warmup_requests = 5000;
+  util::Rng rng(31);
+  cache::RandomEvictor evictor;
+  const cache::CacheResult result =
+      cache::run_cache(config, workload, evictor, rng);
+  sig.push_back(result.hit_rate);
+
+  const cache::EvictionHarvest harvest = cache::harvest_evictions(
+      result.log, config.eviction_samples, /*horizon_seconds=*/60.0);
+  sig.push_back(static_cast<double>(harvest.slot_data.size()));
+  const core::RewardModelPtr model = cache::train_cb_eviction_model(harvest);
+  // The model's predictions pin its coefficients.
+  if (!harvest.victim_samples.empty()) {
+    sig.push_back(model->predict(harvest.victim_samples.front().first, 0));
+  }
+  return sig;
+}
+
+std::vector<double> run_all_scenarios() {
+  std::vector<double> sig = run_fleet_scenario();
+  const std::vector<double> lb_sig = run_lb_scenario();
+  const std::vector<double> cache_sig = run_cache_scenario();
+  sig.insert(sig.end(), lb_sig.begin(), lb_sig.end());
+  sig.insert(sig.end(), cache_sig.begin(), cache_sig.end());
+  return sig;
+}
+
+TEST(DeterminismTest, AllScenariosBitIdenticalAcrossThreadCounts) {
+  par::set_default_threads(1);
+  const std::vector<double> baseline = run_all_scenarios();
+  EXPECT_GT(baseline.size(), 50u);
+  for (std::size_t threads : {2u, 8u}) {
+    par::set_default_threads(threads);
+    const std::vector<double> run = run_all_scenarios();
+    ASSERT_EQ(baseline.size(), run.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      // Exact comparison: bit-identity, not tolerance.
+      EXPECT_EQ(baseline[i], run[i])
+          << "signature[" << i << "] differs at threads=" << threads;
+    }
+  }
+  par::set_default_threads(1);
+}
+
+// ---- Golden CSV: miniature fig3 sweep, frozen at %.17g. ----
+
+std::string render_mini_fig3() {
+  const health::Fleet fleet((health::FleetConfig()));
+  util::Rng rng(42);
+  const core::FullFeedbackDataset train = fleet.generate_dataset(2000, rng);
+  const core::UniformRandomPolicy uniform(
+      health::FleetConfig().num_wait_actions);
+  const core::ExplorationDataset train_exp =
+      train.simulate_exploration(uniform, rng);
+  const core::PolicyPtr policy = core::train_cb_policy(train_exp, {});
+  const core::FullFeedbackDataset test_pool =
+      fleet.generate_dataset(4000, rng);
+  const double truth = test_pool.true_value(*policy);
+
+  const core::IpsEstimator ips;
+  constexpr std::size_t kSims = 40;
+  std::ostringstream out;
+  out << "n,median_rel_err,p05_rel_err,p95_rel_err\n";
+  for (const std::size_t n : {400u, 900u}) {
+    std::vector<double> rel_errors(kSims);
+    // Same stream-derivation scheme as bench/fig3_ips_error.cpp: the
+    // per-sim randomness depends only on (seed, n, sim index).
+    const par::ShardedRng sim_rngs(util::derive_stream_seed(42, n));
+    par::parallel_for(
+        par::default_pool(), par::ShardPlan::per_item(kSims),
+        [&](std::size_t, std::size_t begin, std::size_t end) {
+          for (std::size_t s = begin; s < end; ++s) {
+            util::Rng sim_rng = sim_rngs.stream(s);
+            core::FullFeedbackDataset subsample(test_pool.num_actions(),
+                                                test_pool.reward_range());
+            for (std::size_t i = 0; i < n; ++i) {
+              subsample.add(
+                  test_pool[sim_rng.uniform_index(test_pool.size())]);
+            }
+            const core::ExplorationDataset exp =
+                subsample.simulate_exploration(uniform, sim_rng);
+            rel_errors[s] =
+                std::abs(ips.evaluate(exp, *policy).value - truth) / truth;
+          }
+        });
+    char line[160];
+    std::snprintf(line, sizeof(line), "%zu,%.17g,%.17g,%.17g\n", n,
+                  stats::quantile(rel_errors, 0.5),
+                  stats::quantile(rel_errors, 0.05),
+                  stats::quantile(rel_errors, 0.95));
+    out << line;
+  }
+  return out.str();
+}
+
+TEST(DeterminismTest, MiniFig3MatchesGoldenCsv) {
+  const std::string golden_path =
+      std::string(HARVEST_TEST_SOURCE_DIR) + "/golden/fig3_golden.csv";
+
+  par::set_default_threads(8);
+  const std::string rendered = render_mini_fig3();
+  par::set_default_threads(1);
+  const std::string rendered_seq = render_mini_fig3();
+  // Parallel and sequential renderings must agree byte-for-byte.
+  EXPECT_EQ(rendered, rendered_seq);
+
+  if (std::getenv("HARVEST_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << rendered;
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+  std::ifstream in(golden_path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path
+                         << " (run once with HARVEST_REGEN_GOLDEN=1)";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), rendered)
+      << "fig3 numbers drifted from the frozen golden; if the change is "
+         "intentional, regenerate with HARVEST_REGEN_GOLDEN=1";
+}
+
+}  // namespace
+}  // namespace harvest

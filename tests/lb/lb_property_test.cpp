@@ -11,28 +11,12 @@
 #include "lb/frontdoor.h"
 #include "lb/lb_sim.h"
 #include "lb/routers.h"
+#include "testing/fixtures.h"
 
 namespace harvest::lb {
 namespace {
 
-RouterPtr make_router(const std::string& kind) {
-  if (kind == "random") return std::make_unique<RandomRouter>(2);
-  if (kind == "round-robin") return std::make_unique<RoundRobinRouter>(2);
-  if (kind == "least-loaded") return std::make_unique<LeastLoadedRouter>(2);
-  if (kind == "send-to-1") return std::make_unique<SendToRouter>(2, 0);
-  if (kind == "weighted") {
-    return std::make_unique<WeightedRandomRouter>(
-        std::vector<double>{1.0, 3.0});
-  }
-  if (kind == "epoch") {
-    return std::make_unique<EpochWeightedRandomRouter>(2, 200, 0.5);
-  }
-  // CB router over a fixed linear policy.
-  return std::make_unique<CbRouter>(std::make_shared<core::FunctionPolicy>(
-      2,
-      [](const core::FeatureVector& x) { return x[0] <= x[1] + 5 ? 0u : 1u; },
-      "offset-least-loaded"));
-}
+using harvest::testing::make_router;
 
 class LbRouterInvariants : public ::testing::TestWithParam<std::string> {};
 

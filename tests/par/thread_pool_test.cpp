@@ -1,0 +1,252 @@
+// Unit tests for the deterministic parallel layer: pool lifecycle,
+// exception propagation, nested submission, and the bit-determinism of
+// parallel_for / parallel_reduce / bootstrap across pool sizes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "par/par.h"
+#include "stats/bootstrap.h"
+
+namespace harvest::par {
+namespace {
+
+TEST(ThreadPool, StartupShutdownDrainsAllTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.num_threads(), 4u);
+    for (int i = 0; i < 1000; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // Destructor must drain every queued task before joining.
+  }
+  EXPECT_EQ(ran.load(), 1000);
+}
+
+TEST(ThreadPool, SingleWorkerPoolRunsEverything) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, RepeatedConstructionAndTeardown) {
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> ran{0};
+    ThreadPool pool(3);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    TaskGroup group(&pool);
+    group.run([] {});
+    group.wait();
+    // Give no guarantees about `ran` until destruction...
+  }
+  SUCCEED();
+}
+
+TEST(TaskGroup, WaitsForAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 200; ++i) {
+    group.run([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  group.wait();
+  EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(TaskGroup, PropagatesFirstException) {
+  ThreadPool pool(4);
+  TaskGroup group(&pool);
+  for (int i = 0; i < 32; ++i) {
+    group.run([i] {
+      if (i == 7) throw std::runtime_error("task 7 failed");
+    });
+  }
+  EXPECT_THROW(group.wait(), std::runtime_error);
+}
+
+TEST(TaskGroup, InlineWhenPoolIsNull) {
+  std::atomic<int> ran{0};
+  TaskGroup group(nullptr);
+  group.run([&ran] { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 1);  // ran inline, before wait()
+  group.wait();
+}
+
+TEST(TaskGroup, InlineExceptionDeferredToWait) {
+  TaskGroup group(nullptr);
+  group.run([] { throw std::logic_error("inline failure"); });
+  EXPECT_THROW(group.wait(), std::logic_error);
+}
+
+TEST(ThreadPool, NestedSubmitFromWorkerCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  TaskGroup outer(&pool);
+  for (int i = 0; i < 8; ++i) {
+    outer.run([&pool, &ran] {
+      // May run on a worker or on the caller (work-helping join); either
+      // way, nested fan-out from inside a running task must not deadlock.
+      TaskGroup inner(&pool);
+      for (int j = 0; j < 4; ++j) {
+        inner.run([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+      }
+      inner.wait();
+    });
+  }
+  outer.wait();
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ShardPlan, LayoutIsThreadCountIndependentAndCoversRange) {
+  for (std::size_t n : {0u, 1u, 5u, 511u, 512u, 513u, 100000u}) {
+    const ShardPlan plan = ShardPlan::fixed(n);
+    std::size_t covered = 0;
+    std::size_t prev_end = 0;
+    for (std::size_t s = 0; s < plan.num_shards; ++s) {
+      const auto [begin, end] = plan.bounds(s);
+      EXPECT_EQ(begin, prev_end);
+      EXPECT_LE(begin, end);
+      covered += end - begin;
+      prev_end = end;
+    }
+    EXPECT_EQ(covered, n);
+    if (n > 0) EXPECT_EQ(prev_end, n);
+  }
+}
+
+TEST(ShardPlan, PerItemGivesOneShardPerItemUpToCap) {
+  EXPECT_EQ(ShardPlan::per_item(5).num_shards, 5u);
+  EXPECT_EQ(ShardPlan::per_item(200, 64).num_shards, 64u);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> visits(n);
+  parallel_for_n(&pool, n, [&](std::size_t, std::size_t begin,
+                               std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      visits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(ParallelFor, PropagatesShardException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_for(&pool, ShardPlan::fixed(10000, 16),
+                   [](std::size_t shard, std::size_t, std::size_t) {
+                     if (shard == 3) {
+                       throw std::runtime_error("shard 3 failed");
+                     }
+                   }),
+      std::runtime_error);
+}
+
+/// The core guarantee: identical results for pool sizes 0 (sequential),
+/// 1, 2, and 8 — compared bitwise, not within tolerance.
+TEST(ParallelReduce, BitIdenticalAcrossPoolSizes) {
+  const std::size_t n = 50000;
+  std::vector<double> values(n);
+  util::Rng rng(1234);
+  for (auto& v : values) v = rng.uniform(-1.0, 1.0);
+
+  auto run = [&](ThreadPool* pool) {
+    return parallel_reduce(
+        pool, ShardPlan::fixed(n, 128), 0.0,
+        [&](std::size_t, std::size_t begin, std::size_t end) {
+          double s = 0;
+          // Deliberately non-associative-friendly accumulation.
+          for (std::size_t i = begin; i < end; ++i) {
+            s += std::sin(values[i]) * 1e-3 + values[i];
+          }
+          return s;
+        },
+        [](double acc, double s) { return acc + s; });
+  };
+
+  const double sequential = run(nullptr);
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    const double parallel = run(&pool);
+    EXPECT_EQ(sequential, parallel) << "pool size " << threads;
+  }
+}
+
+TEST(ParallelReduce, MergesInShardOrder) {
+  ThreadPool pool(4);
+  const ShardPlan plan = ShardPlan::per_item(16);
+  const std::vector<std::size_t> order = parallel_reduce(
+      &pool, plan, std::vector<std::size_t>{},
+      [](std::size_t shard, std::size_t, std::size_t) {
+        return std::vector<std::size_t>{shard};
+      },
+      [](std::vector<std::size_t> acc, std::vector<std::size_t> shard) {
+        acc.insert(acc.end(), shard.begin(), shard.end());
+        return acc;
+      });
+  std::vector<std::size_t> expected(16);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ShardedBootstrap, BitIdenticalAcrossPoolSizes) {
+  std::vector<double> values(500);
+  util::Rng rng(99);
+  for (auto& v : values) v = rng.normal(0.0, 1.0);
+  const stats::IndexStatistic mean_stat =
+      [&values](std::span<const std::size_t> idx) {
+        double s = 0;
+        for (std::size_t i : idx) s += values[i];
+        return s / static_cast<double>(idx.size());
+      };
+
+  const std::vector<double> sequential =
+      bootstrap_replicates(nullptr, values.size(), mean_stat, 200, 7);
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    const std::vector<double> parallel =
+        bootstrap_replicates(&pool, values.size(), mean_stat, 200, 7);
+    EXPECT_EQ(sequential, parallel) << "pool size " << threads;
+  }
+
+  // And the derived interval is sane: contains the sample mean.
+  const stats::Interval ci = bootstrap_mean_interval(
+      nullptr, values, 200, 0.05, 7);
+  double sample_mean = 0;
+  for (double v : values) sample_mean += v;
+  sample_mean /= static_cast<double>(values.size());
+  EXPECT_LE(ci.lo, sample_mean);
+  EXPECT_GE(ci.hi, sample_mean);
+}
+
+TEST(DefaultPool, ZeroAndOneMeanSequential) {
+  set_default_threads(0);
+  EXPECT_EQ(default_pool(), nullptr);
+  EXPECT_EQ(default_threads(), 1u);
+  set_default_threads(1);
+  EXPECT_EQ(default_pool(), nullptr);
+  set_default_threads(4);
+  ASSERT_NE(default_pool(), nullptr);
+  EXPECT_EQ(default_pool()->num_threads(), 3u);  // caller counts as one
+  EXPECT_EQ(default_threads(), 4u);
+  set_default_threads(1);  // leave the process sequential for other tests
+  EXPECT_EQ(default_pool(), nullptr);
+}
+
+}  // namespace
+}  // namespace harvest::par

@@ -1,10 +1,16 @@
 #!/usr/bin/env bash
-# CI entry point: configure, build, and run the full test suite.
+# CI entry point: configure, build, and run the test suite in labeled stages.
 #
-#   tools/ci.sh                 # plain RelWithDebInfo build + ctest
-#   tools/ci.sh address         # ASan build + ctest
-#   tools/ci.sh undefined       # UBSan build + ctest
+#   tools/ci.sh                 # plain RelWithDebInfo build + staged ctest
+#   tools/ci.sh address         # ASan build
+#   tools/ci.sh undefined       # UBSan build
 #   tools/ci.sh address,undefined
+#   tools/ci.sh thread          # TSan build (exercises par/ + obs stress)
+#
+# Stages run fast-to-slow so cheap failures surface first:
+#   unit -> property -> integration -> stress
+# then the unlabeled tests (tool smoke tests), then a determinism smoke:
+# fig3 at --threads 1 vs --threads 8 must emit byte-identical stdout.
 #
 # The build tree goes to build-ci[-<sanitizer>] so it never collides with a
 # developer's ./build.
@@ -22,4 +28,25 @@ fi
 
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+for label in unit property integration stress; do
+  echo "==> ctest -L ${label}"
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -L "$label" -j "$(nproc)"
+done
+
+echo "==> ctest (unlabeled: tool smoke tests)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -LE \
+  'unit|property|integration|stress' -j "$(nproc)"
+
+echo "==> determinism smoke: fig3 --threads 1 vs --threads 8"
+T1_OUT="$(mktemp)"
+T8_OUT="$(mktemp)"
+trap 'rm -f "$T1_OUT" "$T8_OUT"' EXIT
+"$BUILD_DIR/bench/fig3_ips_error" --fast --threads 1 > "$T1_OUT"
+"$BUILD_DIR/bench/fig3_ips_error" --fast --threads 8 > "$T8_OUT"
+if ! diff -q "$T1_OUT" "$T8_OUT" > /dev/null; then
+  echo "FAIL: fig3 stdout differs between --threads 1 and --threads 8" >&2
+  diff "$T1_OUT" "$T8_OUT" >&2 || true
+  exit 1
+fi
+echo "ok: byte-identical output at 1 and 8 threads"

@@ -100,6 +100,10 @@ int main(int argc, char** argv) {
   const util::Flags flags(argc, argv);
   const bool diagnostics = flags.get_bool("diagnostics", false);
   const std::string trace_path = flags.get_string("trace", "");
+  // --threads N parallelizes the pipeline's estimator/training stages;
+  // output is bit-identical for any value (see src/par/par.h).
+  par::set_default_threads(
+      static_cast<std::size_t>(flags.get_int("threads", 1)));
 
   std::string text;
   logs::ScavengeSpec spec;
