@@ -139,7 +139,9 @@ EvictionHarvest harvest_evictions(const logs::LogStore& log, std::size_t k,
     const std::string* victim = rec.text("victim");
     if (!nc || !slot || !prop || victim == nullptr ||
         static_cast<std::size_t>(*nc) != k || *slot < 0 ||
-        static_cast<std::size_t>(*slot) >= k || *prop <= 0) {
+        static_cast<std::size_t>(*slot) >= k || *prop <= 0 || *prop > 1) {
+      // Out-of-range propensities are quarantined here, not downstream:
+      // corrupt logs must degrade the sample, never abort the harvest.
       ++harvest.dropped;
       continue;
     }

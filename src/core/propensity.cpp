@@ -41,6 +41,12 @@ EmpiricalPropensityModel::EmpiricalPropensityModel(
   if (num_actions == 0) {
     throw std::invalid_argument("EmpiricalPropensityModel: no actions");
   }
+  if (!bucket_features_.empty() && num_buckets == 0) {
+    // Would make bucket_of() compute h % 0 — undefined behaviour.
+    throw std::invalid_argument(
+        "EmpiricalPropensityModel: num_buckets must be positive when "
+        "bucket_features are given");
+  }
   if (smoothing <= 0) {
     throw std::invalid_argument(
         "EmpiricalPropensityModel: smoothing must be > 0 (propensities must "
@@ -70,6 +76,9 @@ void EmpiricalPropensityModel::observe(const FeatureVector& x, ActionId a) {
 }
 
 void EmpiricalPropensityModel::fit(const ExplorationDataset& data) {
+  // fit() replaces the model with one estimated from `data`; without the
+  // reset, refitting would double-count whatever was observed before.
+  for (auto& bucket : counts_) bucket.assign(num_actions_, 0.0);
   for (const auto& pt : data.points()) observe(pt.context, pt.action);
 }
 

@@ -54,7 +54,9 @@ class EmpiricalPropensityModel final : public PropensityModel {
   /// Accumulates one logged decision.
   void observe(const FeatureVector& x, ActionId a);
 
-  /// Fits from a whole dataset (ignores stored propensities).
+  /// Fits from a whole dataset (ignores stored propensities). Resets any
+  /// previously observed counts first, so refitting on a new dataset
+  /// estimates that dataset alone.
   void fit(const ExplorationDataset& data);
 
   double propensity(const FeatureVector& x, ActionId a) const override;

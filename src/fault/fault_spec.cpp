@@ -1,0 +1,96 @@
+#include "fault/fault_spec.h"
+
+#include <stdexcept>
+
+#include "util/string_util.h"
+
+namespace harvest::fault {
+
+std::string_view to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTornLine:
+      return "torn";
+    case FaultKind::kDuplicateLine:
+      return "dup";
+    case FaultKind::kReorderLines:
+      return "reorder";
+    case FaultKind::kCorruptField:
+      return "corrupt";
+    case FaultKind::kDropPropensity:
+      return "drop-p";
+    case FaultKind::kBadPropensity:
+      return "bad-p";
+    case FaultKind::kSkewTimestamp:
+      return "skew";
+  }
+  return "unknown";
+}
+
+namespace {
+
+FaultKind kind_from_name(std::string_view name) {
+  if (name == "torn") return FaultKind::kTornLine;
+  if (name == "dup") return FaultKind::kDuplicateLine;
+  if (name == "reorder") return FaultKind::kReorderLines;
+  if (name == "corrupt") return FaultKind::kCorruptField;
+  if (name == "drop-p") return FaultKind::kDropPropensity;
+  if (name == "bad-p") return FaultKind::kBadPropensity;
+  if (name == "skew") return FaultKind::kSkewTimestamp;
+  throw std::invalid_argument("parse_fault_specs: unknown fault kind '" +
+                              std::string(name) + "'");
+}
+
+}  // namespace
+
+std::vector<FaultSpec> parse_fault_specs(std::string_view text) {
+  std::vector<FaultSpec> specs;
+  const std::string_view trimmed = util::trim(text);
+  if (trimmed.empty()) return specs;
+  for (const std::string_view token : util::split(trimmed, ',')) {
+    const std::string_view entry = util::trim(token);
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::invalid_argument(
+          "parse_fault_specs: expected <kind>=<rate>[:<magnitude>], got '" +
+          std::string(entry) + "'");
+    }
+    FaultSpec spec;
+    spec.kind = kind_from_name(util::trim(entry.substr(0, eq)));
+    std::string_view value = entry.substr(eq + 1);
+    const std::size_t colon = value.find(':');
+    if (colon != std::string_view::npos) {
+      const auto mag = util::parse_double(value.substr(colon + 1));
+      if (!mag || *mag <= 0) {
+        throw std::invalid_argument(
+            "parse_fault_specs: bad magnitude in '" + std::string(entry) +
+            "'");
+      }
+      spec.magnitude = *mag;
+      value = value.substr(0, colon);
+    }
+    const auto rate = util::parse_double(value);
+    if (!rate || *rate < 0 || *rate > 1) {
+      throw std::invalid_argument("parse_fault_specs: rate must be in [0,1]: '" +
+                                  std::string(entry) + "'");
+    }
+    spec.rate = *rate;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+std::string to_string(const std::vector<FaultSpec>& specs) {
+  std::string out;
+  for (const FaultSpec& spec : specs) {
+    if (!out.empty()) out += ',';
+    out += std::string(to_string(spec.kind)) + "=" +
+           util::format_double(spec.rate, 4);
+    if (spec.magnitude > 0) {
+      out += ":" + util::format_double(spec.magnitude, 2);
+    }
+  }
+  return out;
+}
+
+}  // namespace harvest::fault

@@ -1,0 +1,57 @@
+// Declarative fault taxonomy for the log-ingestion chaos harness. Each
+// FaultSpec names one corruption a production log actually exhibits — torn
+// writes, duplicated appends, bounded reordering from concurrent writers,
+// flipped bytes, missing or out-of-range propensities, clock skew — plus the
+// per-line probability of applying it. Specs compose: an injector applies a
+// list of them, in order, over a serialized log.
+//
+// The taxonomy mirrors the quarantine classes on the read side
+// (logs::ScavengeResult): every fault here lands in exactly one drop bucket
+// when the hardened ingestion rejects the record it mutated.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace harvest::fault {
+
+enum class FaultKind {
+  kTornLine,        ///< truncate a line mid-write (torn/partial append)
+  kDuplicateLine,   ///< append the same record twice (at-least-once sinks)
+  kReorderLines,    ///< swap a line a bounded distance forward (buffering)
+  kCorruptField,    ///< flip one byte of one key=value token (bit rot)
+  kDropPropensity,  ///< delete the propensity field (foreign producer)
+  kBadPropensity,   ///< rewrite the propensity out of (0, 1] (logging bug)
+  kSkewTimestamp,   ///< shift t= by a bounded random offset (clock skew)
+};
+
+/// Stable lowercase name used in --inject specs, obs labels, and reports.
+std::string_view to_string(FaultKind kind);
+
+/// One composable fault: a kind, a per-line rate, and kind-specific knobs.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kTornLine;
+  /// Per-line probability in [0, 1] of applying the fault.
+  double rate = 0;
+  /// Kind-specific magnitude: reorder = max forward distance in lines
+  /// (default 4), skew = max |offset| in time units (default 1). Unused by
+  /// the other kinds.
+  double magnitude = 0;
+  /// Target field for the propensity faults (default "p"). kCorruptField
+  /// ignores it and picks a uniformly random token instead.
+  std::string field = "p";
+};
+
+/// Parses a comma-separated spec string, e.g.
+///   "torn=0.05,dup=0.02,reorder=0.05:8,corrupt=0.03,drop-p=0.02,
+///    bad-p=0.01,skew=0.5"
+/// Each token is `<kind>=<rate>` with an optional `:<magnitude>` suffix.
+/// Kinds: torn, dup, reorder, corrupt, drop-p, bad-p, skew. Throws
+/// std::invalid_argument on unknown kinds or rates outside [0, 1].
+std::vector<FaultSpec> parse_fault_specs(std::string_view text);
+
+/// Renders specs back to the parseable string form (reports, reproduction).
+std::string to_string(const std::vector<FaultSpec>& specs);
+
+}  // namespace harvest::fault

@@ -1,0 +1,240 @@
+#include "fault/injector.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iterator>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+#include "util/hash.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace harvest::fault {
+
+namespace {
+
+/// Splits a line into its space-separated tokens (copies — mutation needs
+/// owned strings).
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  for (const std::string_view piece : util::split(line, ' ')) {
+    if (!piece.empty()) tokens.emplace_back(piece);
+  }
+  return tokens;
+}
+
+std::string join_tokens(const std::vector<std::string>& tokens) {
+  std::string out;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += tokens[i];
+  }
+  return out;
+}
+
+/// Index of the token whose key equals `field`, or npos.
+std::size_t find_field_token(const std::vector<std::string>& tokens,
+                             std::string_view field) {
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::size_t eq = tokens[i].find('=');
+    if (eq != std::string::npos &&
+        std::string_view(tokens[i]).substr(0, eq) == field) {
+      return i;
+    }
+  }
+  return std::string::npos;
+}
+
+/// The out-of-range propensity values kBadPropensity rotates through — each
+/// one violates `0 < p <= 1` a different way (zero, negative, above one).
+constexpr std::string_view kBadPropensityValues[] = {"0", "-0.3", "1.7",
+                                                     "2.5"};
+
+}  // namespace
+
+FaultInjector::FaultInjector(std::uint64_t seed, std::vector<FaultSpec> specs)
+    : seed_(seed), specs_(std::move(specs)) {
+  for (FaultSpec& spec : specs_) {
+    if (spec.rate < 0 || spec.rate > 1) {
+      throw std::invalid_argument("FaultInjector: rate must be in [0,1]");
+    }
+    if (spec.magnitude < 0) {
+      throw std::invalid_argument("FaultInjector: negative magnitude");
+    }
+    if (spec.magnitude == 0) {
+      // Kind-specific defaults, so parse_fault_specs("reorder=0.1") works.
+      if (spec.kind == FaultKind::kReorderLines) spec.magnitude = 4;
+      if (spec.kind == FaultKind::kSkewTimestamp) spec.magnitude = 1.0;
+    }
+    if ((spec.kind == FaultKind::kDropPropensity ||
+         spec.kind == FaultKind::kBadPropensity) &&
+        spec.field.empty()) {
+      throw std::invalid_argument(
+          "FaultInjector: propensity faults need a target field");
+    }
+  }
+}
+
+InjectionReport FaultInjector::inject_lines(
+    std::vector<std::string>& lines) const {
+  InjectionReport report;
+  report.lines_in = lines.size();
+
+  for (std::size_t s = 0; s < specs_.size(); ++s) {
+    const FaultSpec& spec = specs_[s];
+    const std::uint64_t spec_seed = util::derive_stream_seed(seed_, s);
+    if (spec.rate == 0) continue;
+
+    switch (spec.kind) {
+      case FaultKind::kDuplicateLine: {
+        std::vector<std::string> out;
+        out.reserve(lines.size());
+        for (std::size_t i = 0; i < lines.size(); ++i) {
+          util::Rng rng(util::derive_stream_seed(spec_seed, i));
+          out.push_back(lines[i]);
+          if (rng.bernoulli(spec.rate)) {
+            out.push_back(lines[i]);
+            ++report.duplicated;
+          }
+        }
+        lines = std::move(out);
+        break;
+      }
+      case FaultKind::kReorderLines: {
+        const auto window = static_cast<std::uint64_t>(spec.magnitude);
+        for (std::size_t i = 0; i + 1 < lines.size(); ++i) {
+          util::Rng rng(util::derive_stream_seed(spec_seed, i));
+          if (!rng.bernoulli(spec.rate)) continue;
+          const std::size_t partner =
+              std::min(i + 1 + rng.uniform_index(std::max<std::uint64_t>(
+                                   window, 1)),
+                       lines.size() - 1);
+          if (partner != i) {
+            std::swap(lines[i], lines[partner]);
+            ++report.reordered;
+          }
+        }
+        break;
+      }
+      default: {
+        // Line-local mutations.
+        for (std::size_t i = 0; i < lines.size(); ++i) {
+          util::Rng rng(util::derive_stream_seed(spec_seed, i));
+          if (!rng.bernoulli(spec.rate)) continue;
+          std::string& line = lines[i];
+          switch (spec.kind) {
+            case FaultKind::kTornLine: {
+              if (line.size() < 2) break;
+              // Keep at least one byte: a fully vanished line is a drop, not
+              // a tear, and would unbalance the lines_out ledger.
+              line.resize(std::max<std::size_t>(
+                  1, rng.uniform_index(line.size())));
+              ++report.torn;
+              break;
+            }
+            case FaultKind::kCorruptField: {
+              auto tokens = tokenize(line);
+              if (tokens.empty()) break;
+              std::string& token =
+                  tokens[rng.uniform_index(tokens.size())];
+              char& c = token[rng.uniform_index(token.size())];
+              c = (c == '#') ? '%' : '#';
+              line = join_tokens(tokens);
+              ++report.corrupted;
+              break;
+            }
+            case FaultKind::kDropPropensity: {
+              auto tokens = tokenize(line);
+              const std::size_t at = find_field_token(tokens, spec.field);
+              if (at == std::string::npos) break;
+              tokens.erase(tokens.begin() +
+                           static_cast<std::ptrdiff_t>(at));
+              line = join_tokens(tokens);
+              ++report.propensities_dropped;
+              break;
+            }
+            case FaultKind::kBadPropensity: {
+              auto tokens = tokenize(line);
+              const std::size_t at = find_field_token(tokens, spec.field);
+              if (at == std::string::npos) break;
+              const std::string_view bad = kBadPropensityValues
+                  [rng.uniform_index(std::size(kBadPropensityValues))];
+              tokens[at] = spec.field + "=" + std::string(bad);
+              line = join_tokens(tokens);
+              ++report.propensities_invalidated;
+              break;
+            }
+            case FaultKind::kSkewTimestamp: {
+              auto tokens = tokenize(line);
+              const std::size_t at = find_field_token(tokens, "t");
+              if (at == std::string::npos) break;
+              const auto t =
+                  util::parse_double(std::string_view(tokens[at]).substr(2));
+              if (!t) break;
+              const double skewed =
+                  *t + rng.uniform(-spec.magnitude, spec.magnitude);
+              char buf[48];
+              std::snprintf(buf, sizeof buf, "t=%.12g", skewed);
+              tokens[at] = buf;
+              line = join_tokens(tokens);
+              ++report.timestamps_skewed;
+              break;
+            }
+            default:
+              break;
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  report.lines_out = lines.size();
+
+  obs::Registry& registry = obs::Registry::global();
+  const auto bump = [&registry](std::string_view fault, std::size_t n) {
+    if (n == 0) return;
+    registry
+        .counter("fault_injected_total",
+                 {{"fault", std::string(fault)}})
+        .add(static_cast<double>(n));
+  };
+  bump("torn", report.torn);
+  bump("dup", report.duplicated);
+  bump("reorder", report.reordered);
+  bump("corrupt", report.corrupted);
+  bump("drop-p", report.propensities_dropped);
+  bump("bad-p", report.propensities_invalidated);
+  bump("skew", report.timestamps_skewed);
+  return report;
+}
+
+std::pair<std::string, InjectionReport> FaultInjector::inject_text(
+    const std::string& text) const {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    if (end > start) lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  const InjectionReport report = inject_lines(lines);
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return {std::move(out), report};
+}
+
+std::pair<std::string, InjectionReport> FaultInjector::inject(
+    const logs::LogStore& log) const {
+  std::ostringstream text;
+  log.write_text(text);
+  return inject_text(text.str());
+}
+
+}  // namespace harvest::fault

@@ -1,0 +1,71 @@
+// Seed-deterministic fault injection over a LogStore's wire-format text.
+//
+// Determinism contract: the mutated corpus is a pure function of
+// (seed, specs, input lines). Spec s draws its randomness from stream
+// util::derive_stream_seed(seed, s), and within a spec every line i gets its
+// own generator seeded by util::derive_stream_seed(spec_seed, i) — so the
+// decision and parameters for line i never depend on how many random draws
+// earlier lines consumed, on other specs, or on --threads. Injected corpora
+// are bit-reproducible anywhere.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fault/fault_spec.h"
+#include "logs/log_store.h"
+
+namespace harvest::fault {
+
+/// What one injection pass did, per fault class. Every mutation increments
+/// exactly one counter, so reports reconcile against the read side's
+/// quarantine breakdown.
+struct InjectionReport {
+  std::size_t lines_in = 0;
+  std::size_t lines_out = 0;
+  std::size_t torn = 0;
+  std::size_t duplicated = 0;
+  std::size_t reordered = 0;
+  std::size_t corrupted = 0;
+  std::size_t propensities_dropped = 0;
+  std::size_t propensities_invalidated = 0;
+  std::size_t timestamps_skewed = 0;
+
+  std::size_t total_mutations() const {
+    return torn + duplicated + reordered + corrupted + propensities_dropped +
+           propensities_invalidated + timestamps_skewed;
+  }
+};
+
+/// Applies a list of FaultSpecs to serialized log text.
+class FaultInjector {
+ public:
+  /// Validates the specs (rates in [0, 1], positive defaulted magnitudes).
+  /// Throws std::invalid_argument on a malformed spec.
+  FaultInjector(std::uint64_t seed, std::vector<FaultSpec> specs);
+
+  /// Mutates `lines` in place (specs applied in order) and returns the
+  /// report. Also bumps the `fault_injected_total{fault=...}` obs counters.
+  InjectionReport inject_lines(std::vector<std::string>& lines) const;
+
+  /// Convenience over whole-text input/output ('\n'-separated lines).
+  std::pair<std::string, InjectionReport> inject_text(
+      const std::string& text) const;
+
+  /// Serializes `log` and corrupts the text — what a scavenger would read
+  /// back from a faulty collection path.
+  std::pair<std::string, InjectionReport> inject(
+      const logs::LogStore& log) const;
+
+  std::uint64_t seed() const { return seed_; }
+  const std::vector<FaultSpec>& specs() const { return specs_; }
+
+ private:
+  std::uint64_t seed_;
+  std::vector<FaultSpec> specs_;
+};
+
+}  // namespace harvest::fault

@@ -28,6 +28,10 @@
 #include "logs/lookahead.h"
 #include "logs/scavenger.h"
 
+// Deterministic fault injection for chaos-testing the ingest path.
+#include "fault/fault_spec.h"
+#include "fault/injector.h"
+
 // End-to-end methodology (§3, steps 1-3).
 #include "harvest/loop.h"
 #include "harvest/pipeline.h"

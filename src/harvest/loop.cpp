@@ -66,6 +66,10 @@ LoopResult run_continuous_loop(const LoopConfig& config,
         [](double acc, double s) { return acc + s; });
     round.mean_reward = reward_sum / static_cast<double>(harvested.size());
     round.deployed = deployed;
+    // Surviving-sample weight health: the retrain step consumes exactly this
+    // data, so report its ESS/clipped-weight shape rather than assuming the
+    // deployment harvested cleanly.
+    round.diagnostics = obs::compute_logging_diagnostics(harvested);
     result.rounds.push_back(round);
 
     registry.counter("harvest_loop_rounds_total", labels).add(1);
@@ -77,6 +81,10 @@ LoopResult run_continuous_loop(const LoopConfig& config,
         .set(round.mean_reward);
     registry.gauge("harvest_loop_min_propensity", labels)
         .set(harvested.min_propensity());
+    registry.gauge("harvest_loop_round_ess", labels)
+        .set(round.diagnostics.ess);
+    registry.gauge("harvest_loop_round_clipped_fraction", labels)
+        .set(round.diagnostics.clipped_fraction);
 
     history.push_back(std::move(harvested));
     if (config.window > 0 && history.size() > config.window) {

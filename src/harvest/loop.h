@@ -12,6 +12,7 @@
 #include "core/dataset.h"
 #include "core/policy.h"
 #include "core/train/trainer.h"
+#include "obs/diagnostics.h"
 #include "util/rng.h"
 
 namespace harvest::pipeline {
@@ -39,6 +40,11 @@ struct LoopRound {
   double mean_reward = 0;       ///< realized mean reward of this deployment
   std::size_t harvested = 0;    ///< exploration points collected
   core::PolicyPtr deployed;     ///< the (randomized) policy that ran
+  /// Weight health of this round's harvest (ESS, max weight, clipped
+  /// fraction) — computed against the sample that actually survived
+  /// deployment, so a round that collected degraded data says so instead of
+  /// silently feeding it to the retrain step.
+  obs::OpeDiagnostics diagnostics;
 };
 
 struct LoopResult {

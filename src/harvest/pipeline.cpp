@@ -27,15 +27,42 @@ core::ExplorationDataset scavenge_and_infer(const logs::LogStore& log,
     return logs::scavenge(log, config.spec);
   }();
   report.records_seen = scavenged.records_seen;
+  report.decisions_seen = scavenged.decisions_seen;
   report.decisions_harvested = scavenged.data.size();
-  report.decisions_dropped =
-      scavenged.dropped_missing_fields + scavenged.dropped_bad_action;
+  report.decisions_dropped = scavenged.total_dropped();
+  report.dropped_missing_fields = scavenged.dropped_missing_fields;
+  report.dropped_bad_action = scavenged.dropped_bad_action;
+  report.dropped_bad_propensity = scavenged.dropped_bad_propensity;
+  report.dropped_stale_timestamp = scavenged.dropped_stale_timestamp;
+  report.quarantine_rate =
+      scavenged.decisions_seen == 0
+          ? 0.0
+          : static_cast<double>(report.decisions_dropped) /
+                static_cast<double>(scavenged.decisions_seen);
   registry.counter("harvest_records_seen_total", labels)
       .add(static_cast<double>(report.records_seen));
   registry.counter("harvest_decisions_harvested_total", labels)
       .add(static_cast<double>(report.decisions_harvested));
   registry.counter("harvest_decisions_dropped_total", labels)
       .add(static_cast<double>(report.decisions_dropped));
+  const auto quarantined = [&](std::string_view cls, std::size_t count) {
+    if (count == 0) return;
+    obs::Labels cls_labels = labels;
+    cls_labels.emplace_back("class", std::string(cls));
+    registry.counter("harvest_quarantined_total", cls_labels)
+        .add(static_cast<double>(count));
+  };
+  using logs::QuarantineClass;
+  quarantined(logs::to_string(QuarantineClass::kMissingField),
+              scavenged.dropped_missing_fields);
+  quarantined(logs::to_string(QuarantineClass::kBadAction),
+              scavenged.dropped_bad_action);
+  quarantined(logs::to_string(QuarantineClass::kBadPropensity),
+              scavenged.dropped_bad_propensity);
+  quarantined(logs::to_string(QuarantineClass::kStaleTimestamp),
+              scavenged.dropped_stale_timestamp);
+  registry.gauge("harvest_quarantine_rate", labels)
+      .set(report.quarantine_rate);
 
   // Step 2: infer propensities if the log did not carry them.
   core::ExplorationDataset data = std::move(scavenged.data);
@@ -60,6 +87,17 @@ void run_diagnostics(const core::ExplorationDataset& data,
   report.drift = obs::compute_context_drift_split(data, 0.5);
   report.warnings = obs::check_ope_health(report.logging_diagnostics,
                                           &report.drift, config.thresholds);
+  // Graceful degradation, not silent shrinkage: when ingestion quarantined a
+  // large share of the log, every downstream number describes a different
+  // (surviving) sample — say so alongside the OPE-health warnings.
+  if (report.quarantine_rate > config.max_quarantine_rate) {
+    report.warnings.push_back(obs::Diagnostic{
+        "high-quarantine",
+        "ingestion quarantined " +
+            std::to_string(report.decisions_dropped) + " of " +
+            std::to_string(report.decisions_seen) +
+            " decisions; estimates describe the surviving sample only"});
+  }
   obs::register_diagnostics(obs::Registry::global(),
                             report.logging_diagnostics, &report.drift,
                             pipeline_labels(config));

@@ -33,8 +33,19 @@ struct CandidateReport {
 struct HarvestReport {
   // Step 1 data quality.
   std::size_t records_seen = 0;
+  std::size_t decisions_seen = 0;
   std::size_t decisions_harvested = 0;
   std::size_t decisions_dropped = 0;
+  /// Per-class quarantine breakdown of the dropped decisions; the classes
+  /// partition decisions_dropped (see logs::QuarantineClass).
+  std::size_t dropped_missing_fields = 0;
+  std::size_t dropped_bad_action = 0;
+  std::size_t dropped_bad_propensity = 0;
+  std::size_t dropped_stale_timestamp = 0;
+  /// decisions_dropped / decisions_seen (0 when no decisions). Everything
+  /// downstream — ESS, CIs, Eq. 1 widths — is computed against the
+  /// *surviving* sample; this rate says how much of the log it represents.
+  double quarantine_rate = 0;
   // Step 2.
   double min_propensity = 0;  ///< the ε of Eq. 1 realized in this data
   // Step 3.
@@ -74,6 +85,9 @@ struct PipelineConfig {
   /// Print WARN lines to stderr when OPE-health thresholds trip.
   bool diagnostics_warnings = true;
   obs::DiagnosticThresholds thresholds;
+  /// Quarantine rate above which a "high-quarantine" warning is raised —
+  /// past this, the surviving sample may no longer represent the log.
+  double max_quarantine_rate = 0.25;
 };
 
 /// Runs steps 1-3 for evaluation: scavenges `log`, infers propensities, and

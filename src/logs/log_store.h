@@ -5,13 +5,38 @@
 // of log harvesting.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "logs/record.h"
 
 namespace harvest::logs {
+
+/// Knobs for the streaming reader. The defaults bound memory at roughly
+/// chunk_bytes + max_line_bytes regardless of input size, which is what lets
+/// the scavenger ingest multi-gigabyte production logs (or adversarially
+/// torn ones with a missing newline) without buffering them whole.
+struct ReadOptions {
+  std::size_t chunk_bytes = 64 * 1024;      ///< stream read granularity
+  std::size_t max_line_bytes = 1 << 20;     ///< longer lines are quarantined
+};
+
+/// Ingestion outcome counters. parsed + malformed + oversized accounts for
+/// every non-empty line seen, so nothing is dropped without a ledger entry.
+struct ReadStats {
+  std::size_t bytes_read = 0;
+  std::size_t chunks = 0;      ///< stream reads performed
+  std::size_t lines_seen = 0;  ///< non-empty lines encountered
+  std::size_t parsed = 0;
+  std::size_t malformed = 0;   ///< failed Record parse (torn/corrupt writes)
+  std::size_t oversized = 0;   ///< exceeded max_line_bytes (runaway line)
+
+  /// Total quarantined at the parse layer.
+  std::size_t skipped() const { return malformed + oversized; }
+};
 
 /// An append-only sequence of records, ordered by append time.
 class LogStore {
@@ -27,8 +52,16 @@ class LogStore {
   void write_text(std::ostream& out) const;
 
   /// Parses a text log; malformed lines are counted and skipped (real logs
-  /// have torn writes). Returns the number of skipped lines.
+  /// have torn writes). Returns the number of skipped lines. Thin wrapper
+  /// over read_text_chunked with default options.
   static std::pair<LogStore, std::size_t> read_text(std::istream& in);
+
+  /// Streaming chunked parse with bounded memory: reads `chunk_bytes` at a
+  /// time, carries partial lines across chunk boundaries, and quarantines
+  /// (rather than buffers) any line beyond `max_line_bytes`. Emits one obs
+  /// span per chunk ("logs.ingest_chunk") so ingest progress is traceable.
+  static std::pair<LogStore, ReadStats> read_text_chunked(
+      std::istream& in, const ReadOptions& options = {});
 
   /// Round-trips through the wire format — what a scavenger actually sees.
   /// Used by tests to prove no information beyond the text survives.

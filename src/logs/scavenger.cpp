@@ -4,6 +4,20 @@
 
 namespace harvest::logs {
 
+std::string_view to_string(QuarantineClass cls) {
+  switch (cls) {
+    case QuarantineClass::kMissingField:
+      return "missing_field";
+    case QuarantineClass::kBadAction:
+      return "bad_action";
+    case QuarantineClass::kBadPropensity:
+      return "bad_propensity";
+    case QuarantineClass::kStaleTimestamp:
+      return "stale_timestamp";
+  }
+  return "unknown";
+}
+
 ScavengeResult scavenge(const LogStore& log, const ScavengeSpec& spec) {
   if (spec.decision_event.empty()) {
     throw std::invalid_argument("scavenge: decision_event required");
@@ -14,14 +28,39 @@ ScavengeResult scavenge(const LogStore& log, const ScavengeSpec& spec) {
   if (!spec.reward_transform) {
     throw std::invalid_argument("scavenge: reward_transform required");
   }
+  if (spec.stale_after_seconds < 0) {
+    throw std::invalid_argument("scavenge: stale_after_seconds must be >= 0");
+  }
 
-  ScavengeResult result{
-      core::ExplorationDataset(spec.num_actions, spec.reward_range), 0, 0, 0,
-      0};
+  ScavengeResult result{core::ExplorationDataset(spec.num_actions,
+                                                 spec.reward_range),
+                        0, 0, 0, 0, 0, 0};
+  const auto quarantine = [&](QuarantineClass cls, const Record& rec,
+                              std::size_t& counter) {
+    ++counter;
+    if (spec.on_quarantine) spec.on_quarantine(cls, rec);
+  };
+
+  double high_water_time = 0;
+  bool have_time = false;
   for (const auto& rec : log.records()) {
     ++result.records_seen;
     if (rec.event != spec.decision_event) continue;
     ++result.decisions_seen;
+
+    // Stale-timestamp check against the stream's high-water mark. The mark
+    // advances on every decision (even quarantined ones): a late replay must
+    // not hold the clock back for the records behind it.
+    if (spec.stale_after_seconds > 0 && have_time &&
+        rec.time + spec.stale_after_seconds < high_water_time) {
+      quarantine(QuarantineClass::kStaleTimestamp, rec,
+                 result.dropped_stale_timestamp);
+      continue;
+    }
+    if (!have_time || rec.time > high_water_time) {
+      high_water_time = rec.time;
+      have_time = true;
+    }
 
     std::vector<double> features;
     features.reserve(spec.context_fields.size());
@@ -37,20 +76,29 @@ ScavengeResult scavenge(const LogStore& log, const ScavengeSpec& spec) {
     const auto action_raw = rec.integer(spec.action_field);
     const auto reward_raw = rec.number(spec.reward_field);
     if (missing || !action_raw || !reward_raw) {
-      ++result.dropped_missing_fields;
+      quarantine(QuarantineClass::kMissingField, rec,
+                 result.dropped_missing_fields);
       continue;
     }
     if (*action_raw < 0 ||
         *action_raw >= static_cast<std::int64_t>(spec.num_actions)) {
-      ++result.dropped_bad_action;
+      quarantine(QuarantineClass::kBadAction, rec, result.dropped_bad_action);
       continue;
     }
 
     double propensity = 1.0;  // placeholder until step-2 annotation
     if (!spec.propensity_field.empty()) {
       const auto p = rec.number(spec.propensity_field);
-      if (!p || *p <= 0 || *p > 1) {
-        ++result.dropped_missing_fields;
+      if (!p) {
+        // Absent (or unparsable) propensity: a missing field, distinct from
+        // a present-but-invalid one.
+        quarantine(QuarantineClass::kMissingField, rec,
+                   result.dropped_missing_fields);
+        continue;
+      }
+      if (*p <= 0 || *p > 1) {
+        quarantine(QuarantineClass::kBadPropensity, rec,
+                   result.dropped_bad_propensity);
         continue;
       }
       propensity = *p;

@@ -6,12 +6,26 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/dataset.h"
 #include "logs/log_store.h"
 
 namespace harvest::logs {
+
+/// Why a decision record was quarantined instead of harvested. Every dropped
+/// record lands in exactly one class, so drop counts always reconcile:
+/// decisions_seen == harvested + Σ per-class drops.
+enum class QuarantineClass {
+  kMissingField,    ///< a context/action/reward/propensity field is absent
+                    ///  or unparsable
+  kBadAction,       ///< action index outside [0, num_actions)
+  kBadPropensity,   ///< propensity present but outside (0, 1]
+  kStaleTimestamp,  ///< timestamp too far behind the stream's high-water mark
+};
+
+std::string_view to_string(QuarantineClass cls);
 
 /// Declarative mapping from log records to exploration tuples.
 struct ScavengeSpec {
@@ -32,6 +46,17 @@ struct ScavengeSpec {
 
   std::size_t num_actions = 0;
   core::RewardRange reward_range;
+
+  /// When positive, a decision whose timestamp lags the largest timestamp
+  /// seen so far by more than this is quarantined as stale — the defense
+  /// against clock skew and late replays joining the wrong regime. 0
+  /// disables the check (the default: simulators emit monotone clocks).
+  double stale_after_seconds = 0;
+
+  /// Optional quarantine channel: invoked once per dropped decision with
+  /// the classification and the offending record. Lets callers divert bad
+  /// records to a dead-letter log instead of merely counting them.
+  std::function<void(QuarantineClass, const Record&)> on_quarantine;
 };
 
 /// Scavenging outcome: the dataset plus data-quality counters, because real
@@ -42,6 +67,15 @@ struct ScavengeResult {
   std::size_t decisions_seen = 0;
   std::size_t dropped_missing_fields = 0;
   std::size_t dropped_bad_action = 0;
+  std::size_t dropped_bad_propensity = 0;
+  std::size_t dropped_stale_timestamp = 0;
+
+  /// Total quarantined decisions; decisions_seen - total_dropped() is the
+  /// surviving sample the estimators actually run on.
+  std::size_t total_dropped() const {
+    return dropped_missing_fields + dropped_bad_action +
+           dropped_bad_propensity + dropped_stale_timestamp;
+  }
 };
 
 /// Runs the spec over the log. Throws std::invalid_argument on a malformed

@@ -39,8 +39,22 @@ std::string join(const std::vector<std::string>& pieces,
   return out;
 }
 
+namespace {
+
+/// std::from_chars rejects an explicit leading '+', but foreign log
+/// producers legitimately write `p=+0.1`; strip it (once, and not from
+/// a bare or doubled sign) so such records parse.
+std::string_view strip_explicit_plus(std::string_view s) {
+  if (s.size() >= 2 && s[0] == '+' && s[1] != '+' && s[1] != '-') {
+    return s.substr(1);
+  }
+  return s;
+}
+
+}  // namespace
+
 std::optional<double> parse_double(std::string_view s) {
-  s = trim(s);
+  s = strip_explicit_plus(trim(s));
   if (s.empty()) return std::nullopt;
   double value = 0;
   const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
@@ -49,7 +63,7 @@ std::optional<double> parse_double(std::string_view s) {
 }
 
 std::optional<std::int64_t> parse_int(std::string_view s) {
-  s = trim(s);
+  s = strip_explicit_plus(trim(s));
   if (s.empty()) return std::nullopt;
   std::int64_t value = 0;
   const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);

@@ -20,6 +20,7 @@ std::string join(const std::vector<std::string>& pieces,
                  std::string_view sep);
 
 /// Strict full-string parses; nullopt on any trailing garbage or overflow.
+/// An explicit leading '+' is accepted (foreign log producers emit it).
 std::optional<double> parse_double(std::string_view s);
 std::optional<std::int64_t> parse_int(std::string_view s);
 

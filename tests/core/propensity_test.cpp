@@ -83,6 +83,38 @@ TEST(AnnotatePropensitiesTest, RewritesOnlyPropensity) {
   EXPECT_DOUBLE_EQ(annotated[1].context[0], 2.0);
 }
 
+TEST(EmpiricalPropensityTest, RejectsZeroBucketsWithBucketFeatures) {
+  // num_buckets == 0 with hashed features would make bucket_of() compute
+  // h % 0 — undefined behaviour. Must throw instead.
+  EXPECT_THROW(EmpiricalPropensityModel(2, {0}, 0), std::invalid_argument);
+  // The degenerate context-free model never hashes, so zero buckets with no
+  // bucket features stays legal.
+  EXPECT_NO_THROW(EmpiricalPropensityModel(2, {}, 0));
+}
+
+TEST(EmpiricalPropensityTest, RefitDoesNotDoubleCount) {
+  // fit() must reset accumulated counts: fitting twice on the same data, or
+  // fitting on a second dataset, estimates that dataset alone.
+  ExplorationDataset skewed(2, RewardRange{0, 1});
+  for (int i = 0; i < 90; ++i) skewed.add({FeatureVector{0.0}, 0, 0.5, 1.0});
+  for (int i = 0; i < 10; ++i) skewed.add({FeatureVector{0.0}, 1, 0.5, 1.0});
+  ExplorationDataset balanced(2, RewardRange{0, 1});
+  for (int i = 0; i < 50; ++i) {
+    balanced.add({FeatureVector{0.0}, 0, 0.5, 1.0});
+    balanced.add({FeatureVector{0.0}, 1, 0.5, 1.0});
+  }
+
+  EmpiricalPropensityModel model(2, {});
+  model.fit(skewed);
+  const double p0_once = model.propensity(FeatureVector{0.0}, 0);
+  model.fit(skewed);  // refit on identical data: estimate must not move
+  EXPECT_DOUBLE_EQ(model.propensity(FeatureVector{0.0}, 0), p0_once);
+
+  model.fit(balanced);  // refit on balanced data: old skew must be gone
+  EXPECT_NEAR(model.propensity(FeatureVector{0.0}, 0), 0.5, 0.02);
+  EXPECT_NEAR(model.propensity(FeatureVector{0.0}, 1), 0.5, 0.02);
+}
+
 TEST(AnnotatePropensitiesTest, EndToEndIpsWithInferredPropensities) {
   // Inferring propensities from a context-free logging policy and running
   // IPS should match IPS with the true propensities.

@@ -1,0 +1,219 @@
+// Property tests for the fault injector + hardened read path: whatever the
+// injector does, every line and every decision must be accounted for exactly
+// once — conservation is the invariant that makes quarantine counts trustworthy.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault/fault_spec.h"
+#include "fault/injector.h"
+#include "logs/log_store.h"
+#include "logs/scavenger.h"
+#include "util/rng.h"
+
+namespace harvest::fault {
+namespace {
+
+logs::LogStore random_log(util::Rng& rng, std::size_t n) {
+  logs::LogStore log;
+  for (std::size_t i = 0; i < n; ++i) {
+    logs::Record rec;
+    rec.time = static_cast<double>(i) * 0.25;
+    rec.event = "decide";
+    rec.set("x", rng.uniform(-1.0, 1.0));
+    rec.set("y", rng.uniform(0.0, 5.0));
+    rec.set("a", static_cast<std::int64_t>(rng.uniform_index(4)));
+    rec.set("r", rng.uniform(0.0, 1.0));
+    rec.set("p", 0.25);
+    log.append(std::move(rec));
+  }
+  return log;
+}
+
+std::vector<std::string> non_empty_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+logs::ScavengeSpec base_spec() {
+  logs::ScavengeSpec spec;
+  spec.decision_event = "decide";
+  spec.context_fields = {"x", "y"};
+  spec.action_field = "a";
+  spec.reward_field = "r";
+  spec.propensity_field = "p";
+  spec.num_actions = 4;
+  spec.reward_range = {0.0, 1.0};
+  spec.reward_transform = [](double r) { return r; };
+  return spec;
+}
+
+// Parse-layer conservation: every non-empty line of the corrupted corpus is
+// either parsed or quarantined, for any fault mixture and seed.
+TEST(FaultPropertyTest, ReadLedgerBalancesUnderAnyMixture) {
+  util::Rng data_rng(99);
+  const logs::LogStore log = random_log(data_rng, 600);
+  const std::vector<std::string> mixtures = {
+      "torn=0.15",
+      "dup=0.2",
+      "reorder=0.25:7",
+      "corrupt=0.1",
+      "torn=0.08,dup=0.05,reorder=0.1:4,corrupt=0.06,skew=0.1:3",
+  };
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    for (const auto& mixture : mixtures) {
+      const FaultInjector injector(seed, parse_fault_specs(mixture));
+      const auto [text, report] = injector.inject(log);
+      const auto lines = non_empty_lines(text);
+      EXPECT_EQ(lines.size(), report.lines_out) << mixture << " seed " << seed;
+
+      std::istringstream stream(text);
+      const auto [store, stats] = logs::LogStore::read_text_chunked(stream);
+      EXPECT_EQ(stats.lines_seen, lines.size());
+      EXPECT_EQ(stats.parsed + stats.malformed + stats.oversized,
+                stats.lines_seen)
+          << mixture << " seed " << seed;
+      EXPECT_EQ(store.size(), stats.parsed);
+    }
+  }
+}
+
+// Duplication only adds exact copies; reordering only permutes. The surviving
+// line multiset proves it.
+TEST(FaultPropertyTest, DupAndReorderPreserveLineMultiset) {
+  util::Rng data_rng(7);
+  const logs::LogStore log = random_log(data_rng, 500);
+  std::ostringstream clean_out;
+  log.write_text(clean_out);
+  const auto clean_lines = non_empty_lines(clean_out.str());
+
+  auto multiset_of = [](const std::vector<std::string>& lines) {
+    std::map<std::string, std::size_t> counts;
+    for (const auto& line : lines) ++counts[line];
+    return counts;
+  };
+  const auto clean_counts = multiset_of(clean_lines);
+
+  for (std::uint64_t seed = 10; seed < 14; ++seed) {
+    const FaultInjector injector(seed,
+                                 parse_fault_specs("dup=0.15,reorder=0.2:6"));
+    const auto [text, report] = injector.inject(log);
+    const auto lines = non_empty_lines(text);
+    ASSERT_EQ(lines.size(), clean_lines.size() + report.duplicated);
+
+    // Every corrupted-corpus line is a clean line, and each appears at least
+    // as often as in the clean corpus (dup can only raise counts).
+    const auto counts = multiset_of(lines);
+    std::size_t extras = 0;
+    for (const auto& [line, count] : counts) {
+      const auto it = clean_counts.find(line);
+      ASSERT_NE(it, clean_counts.end()) << "injector fabricated a line";
+      ASSERT_GE(count, it->second);
+      extras += count - it->second;
+    }
+    EXPECT_EQ(extras, report.duplicated);
+  }
+}
+
+// Scavenge-layer conservation at ~10% corruption: decisions_seen equals
+// harvested tuples plus the per-class quarantine counts, and the callback
+// channel fires exactly once per drop with a matching classification tally.
+TEST(FaultPropertyTest, QuarantineClassesPartitionTheDrops) {
+  util::Rng data_rng(41);
+  const logs::LogStore log = random_log(data_rng, 800);
+  const auto specs = parse_fault_specs(
+      "torn=0.04,corrupt=0.03,drop-p=0.02,bad-p=0.01");
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const FaultInjector injector(seed, specs);
+    const auto [text, injection] = injector.inject(log);
+    std::istringstream stream(text);
+    const auto [store, stats] = logs::LogStore::read_text_chunked(stream);
+    ASSERT_EQ(store.size(), stats.parsed);
+
+    logs::ScavengeSpec spec = base_spec();
+    std::map<logs::QuarantineClass, std::size_t> callback_counts;
+    spec.on_quarantine = [&](logs::QuarantineClass cls, const logs::Record&) {
+      ++callback_counts[cls];
+    };
+    const logs::ScavengeResult result = logs::scavenge(store, spec);
+
+    EXPECT_EQ(result.data.size() + result.total_dropped(),
+              result.decisions_seen)
+        << "seed " << seed;
+    EXPECT_EQ(callback_counts[logs::QuarantineClass::kMissingField],
+              result.dropped_missing_fields);
+    EXPECT_EQ(callback_counts[logs::QuarantineClass::kBadAction],
+              result.dropped_bad_action);
+    EXPECT_EQ(callback_counts[logs::QuarantineClass::kBadPropensity],
+              result.dropped_bad_propensity);
+    EXPECT_EQ(callback_counts[logs::QuarantineClass::kStaleTimestamp],
+              result.dropped_stale_timestamp);
+    // Something must actually have been corrupted at these rates.
+    EXPECT_GT(injection.total_mutations(), 0u);
+  }
+}
+
+// When bad-p is the only fault, every invalidated propensity lands in the
+// bad-propensity class (the satellite fix: previously misfiled under
+// missing-fields) and nothing else is dropped anywhere.
+TEST(FaultPropertyTest, BadPropensityDropsAreAttributedExactly) {
+  util::Rng data_rng(5);
+  const logs::LogStore log = random_log(data_rng, 700);
+  for (std::uint64_t seed = 2; seed <= 6; ++seed) {
+    const FaultInjector injector(seed, parse_fault_specs("bad-p=0.08"));
+    const auto [text, injection] = injector.inject(log);
+    std::istringstream stream(text);
+    const auto [store, stats] = logs::LogStore::read_text_chunked(stream);
+    ASSERT_EQ(stats.malformed + stats.oversized, 0u);
+
+    const logs::ScavengeResult result = logs::scavenge(store, base_spec());
+    EXPECT_EQ(result.dropped_bad_propensity,
+              injection.propensities_invalidated);
+    EXPECT_EQ(result.dropped_missing_fields, 0u);
+    EXPECT_EQ(result.dropped_bad_action, 0u);
+    EXPECT_EQ(result.dropped_stale_timestamp, 0u);
+  }
+}
+
+// Stale-timestamp quarantine: records that lag the high-water mark by more
+// than the cutoff are dropped as stale, and late-but-within-cutoff survive.
+TEST(FaultPropertyTest, StaleTimestampCutoffIsExact) {
+  logs::LogStore log;
+  auto decision = [](double t) {
+    logs::Record rec;
+    rec.time = t;
+    rec.event = "decide";
+    rec.set("x", 0.1);
+    rec.set("y", 0.2);
+    rec.set("a", static_cast<std::int64_t>(1));
+    rec.set("r", 0.5);
+    rec.set("p", 0.25);
+    return rec;
+  };
+  log.append(decision(100));
+  log.append(decision(200));
+  log.append(decision(195));  // 5 behind: survives a 10s cutoff
+  log.append(decision(150));  // 50 behind: stale
+  log.append(decision(210));
+  log.append(decision(199));  // 11 behind: stale
+
+  logs::ScavengeSpec spec = base_spec();
+  spec.context_fields = {"x", "y"};
+  spec.stale_after_seconds = 10;
+  const logs::ScavengeResult result = logs::scavenge(log, spec);
+  EXPECT_EQ(result.decisions_seen, 6u);
+  EXPECT_EQ(result.dropped_stale_timestamp, 2u);
+  EXPECT_EQ(result.data.size(), 4u);
+}
+
+}  // namespace
+}  // namespace harvest::fault

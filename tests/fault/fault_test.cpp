@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault/fault_spec.h"
+#include "fault/injector.h"
+#include "logs/log_store.h"
+
+namespace harvest::fault {
+namespace {
+
+logs::LogStore demo_log(std::size_t n) {
+  logs::LogStore log;
+  for (std::size_t i = 0; i < n; ++i) {
+    logs::Record rec;
+    rec.time = static_cast<double>(i);
+    rec.event = "decide";
+    rec.set("x", 0.25 * static_cast<double>(i));
+    rec.set("a", static_cast<std::int64_t>(i % 3));
+    rec.set("r", 0.5);
+    rec.set("p", 0.33);
+    log.append(std::move(rec));
+  }
+  return log;
+}
+
+TEST(FaultSpecTest, ParsesKindsRatesAndMagnitudes) {
+  const auto specs =
+      parse_fault_specs("torn=0.05, dup=0.1,reorder=0.2:8,skew=0.5:2.5");
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].kind, FaultKind::kTornLine);
+  EXPECT_DOUBLE_EQ(specs[0].rate, 0.05);
+  EXPECT_EQ(specs[1].kind, FaultKind::kDuplicateLine);
+  EXPECT_EQ(specs[2].kind, FaultKind::kReorderLines);
+  EXPECT_DOUBLE_EQ(specs[2].magnitude, 8.0);
+  EXPECT_EQ(specs[3].kind, FaultKind::kSkewTimestamp);
+  EXPECT_DOUBLE_EQ(specs[3].magnitude, 2.5);
+}
+
+TEST(FaultSpecTest, EmptySpecYieldsNoFaults) {
+  EXPECT_TRUE(parse_fault_specs("").empty());
+  EXPECT_TRUE(parse_fault_specs("  ").empty());
+}
+
+TEST(FaultSpecTest, RejectsMalformedSpecs) {
+  EXPECT_THROW(parse_fault_specs("nonsense=0.1"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_specs("torn"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_specs("torn=1.5"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_specs("torn=-0.1"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_specs("reorder=0.1:-2"), std::invalid_argument);
+}
+
+TEST(FaultSpecTest, RoundTripsThroughToString) {
+  const auto specs = parse_fault_specs("torn=0.05,bad-p=0.01,reorder=0.1:8");
+  const auto reparsed = parse_fault_specs(to_string(specs));
+  ASSERT_EQ(reparsed.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(reparsed[i].kind, specs[i].kind);
+    EXPECT_NEAR(reparsed[i].rate, specs[i].rate, 1e-4);
+  }
+}
+
+TEST(FaultInjectorTest, SameSeedSameCorpus) {
+  const logs::LogStore log = demo_log(500);
+  const auto specs = parse_fault_specs(
+      "torn=0.1,dup=0.05,reorder=0.1,corrupt=0.1,bad-p=0.05,skew=0.2");
+  const FaultInjector a(1234, specs);
+  const FaultInjector b(1234, specs);
+  const auto [text_a, report_a] = a.inject(log);
+  const auto [text_b, report_b] = b.inject(log);
+  EXPECT_EQ(text_a, text_b);
+  EXPECT_EQ(report_a.total_mutations(), report_b.total_mutations());
+  EXPECT_GT(report_a.total_mutations(), 0u);
+
+  const FaultInjector c(1235, specs);
+  const auto [text_c, report_c] = c.inject(log);
+  EXPECT_NE(text_a, text_c);  // different seed, different corpus
+  EXPECT_EQ(report_c.lines_in, report_a.lines_in);
+}
+
+TEST(FaultInjectorTest, ZeroRateIsIdentity) {
+  const logs::LogStore log = demo_log(100);
+  std::ostringstream clean;
+  log.write_text(clean);
+  const FaultInjector injector(
+      7, parse_fault_specs("torn=0,dup=0,corrupt=0"));
+  const auto [text, report] = injector.inject(log);
+  EXPECT_EQ(text, clean.str());
+  EXPECT_EQ(report.total_mutations(), 0u);
+  EXPECT_EQ(report.lines_in, 100u);
+  EXPECT_EQ(report.lines_out, 100u);
+}
+
+TEST(FaultInjectorTest, DuplicationAddsLinesReorderKeepsThem) {
+  const logs::LogStore log = demo_log(400);
+  const FaultInjector dup(3, parse_fault_specs("dup=0.25"));
+  const auto [dup_text, dup_report] = dup.inject(log);
+  EXPECT_EQ(dup_report.lines_out,
+            dup_report.lines_in + dup_report.duplicated);
+  EXPECT_GT(dup_report.duplicated, 0u);
+  EXPECT_FALSE(dup_text.empty());
+
+  const FaultInjector reorder(3, parse_fault_specs("reorder=0.3:5"));
+  std::ostringstream clean;
+  log.write_text(clean);
+  const auto [re_text, re_report] = reorder.inject(log);
+  EXPECT_GT(re_report.reordered, 0u);
+  EXPECT_EQ(re_report.lines_out, re_report.lines_in);
+  // Reordering permutes, never loses: sorted lines match.
+  auto sorted_lines = [](const std::string& text) {
+    std::vector<std::string> lines;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    std::sort(lines.begin(), lines.end());
+    return lines;
+  };
+  EXPECT_EQ(sorted_lines(re_text), sorted_lines(clean.str()));
+}
+
+TEST(FaultInjectorTest, BadPropensityAlwaysQuarantinable) {
+  const logs::LogStore log = demo_log(300);
+  const FaultInjector injector(11, parse_fault_specs("bad-p=0.2"));
+  const auto [text, report] = injector.inject(log);
+  ASSERT_GT(report.propensities_invalidated, 0u);
+  // Every mutated line still parses but carries an out-of-range p.
+  std::istringstream stream(text);
+  const auto [store, stats] = logs::LogStore::read_text_chunked(stream);
+  EXPECT_EQ(stats.malformed, 0u);
+  std::size_t bad = 0;
+  for (const auto& rec : store.records()) {
+    const auto p = rec.number("p");
+    ASSERT_TRUE(p.has_value());
+    if (*p <= 0 || *p > 1) ++bad;
+  }
+  EXPECT_EQ(bad, report.propensities_invalidated);
+}
+
+TEST(FaultInjectorTest, RejectsBadConstruction) {
+  FaultSpec out_of_range;
+  out_of_range.kind = FaultKind::kTornLine;
+  out_of_range.rate = 1.5;
+  EXPECT_THROW(FaultInjector(1, {out_of_range}), std::invalid_argument);
+
+  FaultSpec fieldless;
+  fieldless.kind = FaultKind::kBadPropensity;
+  fieldless.rate = 0.1;
+  fieldless.field = "";
+  EXPECT_THROW(FaultInjector(1, {fieldless}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harvest::fault

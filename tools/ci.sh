@@ -50,3 +50,21 @@ if ! diff -q "$T1_OUT" "$T8_OUT" > /dev/null; then
   exit 1
 fi
 echo "ok: byte-identical output at 1 and 8 threads"
+
+echo "==> chaos ingestion: corrupted-log sweep + injection-off identity"
+# The hardened read path must degrade gracefully on corrupted logs (the
+# bench's own shape check exits nonzero if error does not grow with the
+# corruption rate), and with injection off harvest_inspect must emit the
+# same bytes as a run with no --inject flag at all.
+"$BUILD_DIR/bench/chaos_ingestion" --fast > /dev/null
+"$BUILD_DIR/tools/harvest_inspect" --selftest \
+  --inject "torn=0.05,dup=0.02,corrupt=0.03,bad-p=0.01" --inject-seed 7 \
+  > /dev/null
+"$BUILD_DIR/tools/harvest_inspect" --selftest > "$T1_OUT"
+"$BUILD_DIR/tools/harvest_inspect" --selftest --inject "" > "$T8_OUT"
+if ! diff -q "$T1_OUT" <(tail -n +2 "$T8_OUT") > /dev/null; then
+  echo "FAIL: --inject \"\" changes harvest_inspect output beyond the" \
+       "injection report line" >&2
+  exit 1
+fi
+echo "ok: chaos sweep monotone; injection-off output identical"

@@ -13,6 +13,7 @@
 //   harvest_inspect <logfile> --event decide --context x,y --action a
 //                   --reward r --actions 3 [--reward-lo 0 --reward-hi 1]
 //                   [--diagnostics] [--trace spans.jsonl]
+//                   [--inject SPEC] [--inject-seed N]
 //   harvest_inspect --selftest        # generate and process a demo log
 //
 // --diagnostics prints the OPE-health panel: effective sample size,
@@ -20,6 +21,11 @@
 //   context-drift statistic (the A1 stationarity check).
 // --trace FILE writes the span trace (one JSON object per line, with
 //   parent/child nesting) covering every pipeline stage that ran.
+// --inject SPEC corrupts the log text before ingestion with the
+//   seed-deterministic fault injector (e.g. "torn=0.05,dup=0.02,bad-p=0.01";
+//   see src/fault/fault_spec.h for the taxonomy) — a chaos rehearsal of the
+//   hardened read path. --inject-seed makes the corrupted corpus
+//   reproducible (default 1).
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -38,6 +44,7 @@ int usage() {
          "                       --action FIELD --reward FIELD --actions N\n"
          "                       [--reward-lo X] [--reward-hi Y]\n"
          "                       [--diagnostics] [--trace FILE]\n"
+         "                       [--inject SPEC] [--inject-seed N]\n"
          "       harvest_inspect --selftest [--diagnostics] [--trace FILE]\n";
   return 2;
 }
@@ -85,6 +92,12 @@ void print_diagnostics(const pipeline::HarvestReport& report) {
             << util::format_double(d.mean_weight, 2) << ", clipped@"
             << util::format_double(d.clip_weight, 0) << ": "
             << util::format_double(100 * d.clipped_fraction, 2) << "%)\n";
+  if (report.decisions_dropped > 0) {
+    std::cout << "quarantined decisions:       " << report.decisions_dropped
+              << " of " << report.decisions_seen << " ("
+              << util::format_double(100 * report.quarantine_rate, 1)
+              << "%)\n";
+  }
   if (!report.drift.features.empty()) {
     std::cout << "context drift (A1 check):    max |z| = "
               << util::format_double(report.drift.max_z, 2) << " on feature "
@@ -143,11 +156,34 @@ int main(int argc, char** argv) {
     spec.num_actions = static_cast<std::size_t>(flags.get_int("actions", 0));
   }
 
-  // Step 0: parse.
+  // Optional chaos rehearsal: corrupt the wire-format text before the
+  // hardened read path ever sees it.
+  if (flags.has("inject")) {
+    try {
+      const fault::FaultInjector injector(
+          static_cast<std::uint64_t>(flags.get_int("inject-seed", 1)),
+          fault::parse_fault_specs(flags.get_string("inject", "")));
+      auto [corrupted, inj] = injector.inject_text(text);
+      text = std::move(corrupted);
+      std::cout << "injected faults (seed "
+                << flags.get_int("inject-seed", 1) << "): " << inj.lines_in
+                << " -> " << inj.lines_out << " lines; torn " << inj.torn
+                << ", dup " << inj.duplicated << ", reordered "
+                << inj.reordered << ", corrupted " << inj.corrupted
+                << ", p-dropped " << inj.propensities_dropped
+                << ", p-invalid " << inj.propensities_invalidated
+                << ", t-skewed " << inj.timestamps_skewed << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << "bad --inject spec: " << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  // Step 0: parse (streaming, bounded memory).
   std::istringstream stream(text);
-  const auto [log, skipped] = logs::LogStore::read_text(stream);
-  std::cout << "parsed " << log.size() << " records (" << skipped
-            << " malformed lines skipped)\n";
+  const auto [log, read_stats] = logs::LogStore::read_text_chunked(stream);
+  std::cout << "parsed " << log.size() << " records ("
+            << read_stats.skipped() << " malformed lines skipped)\n";
   if (log.empty()) return 1;
 
   // Steps 1-3 through the instrumented pipeline: scavenge, infer
@@ -177,6 +213,14 @@ int main(int argc, char** argv) {
   std::cout << "decisions: " << report.records_seen << " records seen, "
             << "harvested " << report.decisions_harvested << " tuples, "
             << "dropped " << report.decisions_dropped << "\n";
+  if (report.decisions_dropped > 0) {
+    std::cout << "quarantine: missing-field " << report.dropped_missing_fields
+              << ", bad-action " << report.dropped_bad_action
+              << ", bad-propensity " << report.dropped_bad_propensity
+              << ", stale-timestamp " << report.dropped_stale_timestamp
+              << " (" << util::format_double(100 * report.quarantine_rate, 1)
+              << "% of decisions)\n";
+  }
   if (report.decisions_harvested < 50) {
     std::cerr << "not enough exploration data to analyze\n";
     return 1;
