@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_action_space.dir/ablation_action_space.cpp.o"
+  "CMakeFiles/ablation_action_space.dir/ablation_action_space.cpp.o.d"
+  "ablation_action_space"
+  "ablation_action_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_action_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_action_space.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cache_workloads.dir/ablation_cache_workloads.cpp.o"
+  "CMakeFiles/ablation_cache_workloads.dir/ablation_cache_workloads.cpp.o.d"
+  "ablation_cache_workloads"
+  "ablation_cache_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cache_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_estimators.dir/ablation_estimators.cpp.o"
+  "CMakeFiles/ablation_estimators.dir/ablation_estimators.cpp.o.d"
+  "ablation_estimators"
+  "ablation_estimators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_estimators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

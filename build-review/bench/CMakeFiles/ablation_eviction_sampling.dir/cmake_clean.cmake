@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_eviction_sampling.dir/ablation_eviction_sampling.cpp.o"
+  "CMakeFiles/ablation_eviction_sampling.dir/ablation_eviction_sampling.cpp.o.d"
+  "ablation_eviction_sampling"
+  "ablation_eviction_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_eviction_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

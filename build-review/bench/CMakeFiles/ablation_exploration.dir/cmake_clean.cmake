@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_exploration.dir/ablation_exploration.cpp.o"
+  "CMakeFiles/ablation_exploration.dir/ablation_exploration.cpp.o.d"
+  "ablation_exploration"
+  "ablation_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

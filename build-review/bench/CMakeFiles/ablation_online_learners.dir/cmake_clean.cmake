@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_online_learners.dir/ablation_online_learners.cpp.o"
+  "CMakeFiles/ablation_online_learners.dir/ablation_online_learners.cpp.o.d"
+  "ablation_online_learners"
+  "ablation_online_learners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_online_learners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_propensity.dir/ablation_propensity.cpp.o"
+  "CMakeFiles/ablation_propensity.dir/ablation_propensity.cpp.o.d"
+  "ablation_propensity"
+  "ablation_propensity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_propensity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

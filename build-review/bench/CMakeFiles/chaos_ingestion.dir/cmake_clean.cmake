@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaos_ingestion.dir/chaos_ingestion.cpp.o"
+  "CMakeFiles/chaos_ingestion.dir/chaos_ingestion.cpp.o.d"
+  "chaos_ingestion"
+  "chaos_ingestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaos_ingestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_chaos_exploration.dir/ext_chaos_exploration.cpp.o"
+  "CMakeFiles/ext_chaos_exploration.dir/ext_chaos_exploration.cpp.o.d"
+  "ext_chaos_exploration"
+  "ext_chaos_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_chaos_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_continuous_loop.dir/ext_continuous_loop.cpp.o"
+  "CMakeFiles/ext_continuous_loop.dir/ext_continuous_loop.cpp.o.d"
+  "ext_continuous_loop"
+  "ext_continuous_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_continuous_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_sequence_ope.dir/ext_sequence_ope.cpp.o"
+  "CMakeFiles/ext_sequence_ope.dir/ext_sequence_ope.cpp.o.d"
+  "ext_sequence_ope"
+  "ext_sequence_ope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_sequence_ope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_ab_vs_cb.dir/fig1_ab_vs_cb.cpp.o"
+  "CMakeFiles/fig1_ab_vs_cb.dir/fig1_ab_vs_cb.cpp.o.d"
+  "fig1_ab_vs_cb"
+  "fig1_ab_vs_cb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_ab_vs_cb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_theoretical_accuracy.dir/fig2_theoretical_accuracy.cpp.o"
+  "CMakeFiles/fig2_theoretical_accuracy.dir/fig2_theoretical_accuracy.cpp.o.d"
+  "fig2_theoretical_accuracy"
+  "fig2_theoretical_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_theoretical_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_ips_error.dir/fig3_ips_error.cpp.o"
+  "CMakeFiles/fig3_ips_error.dir/fig3_ips_error.cpp.o.d"
+  "fig3_ips_error"
+  "fig3_ips_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_ips_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

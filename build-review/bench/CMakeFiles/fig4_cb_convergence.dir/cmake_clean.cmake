@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_cb_convergence.dir/fig4_cb_convergence.cpp.o"
+  "CMakeFiles/fig4_cb_convergence.dir/fig4_cb_convergence.cpp.o.d"
+  "fig4_cb_convergence"
+  "fig4_cb_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_cb_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_latency_model.dir/fig5_latency_model.cpp.o"
+  "CMakeFiles/fig5_latency_model.dir/fig5_latency_model.cpp.o.d"
+  "fig5_latency_model"
+  "fig5_latency_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_latency_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

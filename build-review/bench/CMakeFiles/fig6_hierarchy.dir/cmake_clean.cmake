@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_hierarchy.dir/fig6_hierarchy.cpp.o"
+  "CMakeFiles/fig6_hierarchy.dir/fig6_hierarchy.cpp.o.d"
+  "fig6_hierarchy"
+  "fig6_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_decision_latency.dir/micro_decision_latency.cpp.o"
+  "CMakeFiles/micro_decision_latency.dir/micro_decision_latency.cpp.o.d"
+  "micro_decision_latency"
+  "micro_decision_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_decision_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

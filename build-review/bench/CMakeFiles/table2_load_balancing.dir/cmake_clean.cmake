@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_load_balancing.dir/table2_load_balancing.cpp.o"
+  "CMakeFiles/table2_load_balancing.dir/table2_load_balancing.cpp.o.d"
+  "table2_load_balancing"
+  "table2_load_balancing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_load_balancing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

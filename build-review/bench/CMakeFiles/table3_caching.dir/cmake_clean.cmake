@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_caching.dir/table3_caching.cpp.o"
+  "CMakeFiles/table3_caching.dir/table3_caching.cpp.o.d"
+  "table3_caching"
+  "table3_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

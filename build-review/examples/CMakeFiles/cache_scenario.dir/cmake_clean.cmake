@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_scenario.dir/cache_scenario.cpp.o"
+  "CMakeFiles/cache_scenario.dir/cache_scenario.cpp.o.d"
+  "cache_scenario"
+  "cache_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

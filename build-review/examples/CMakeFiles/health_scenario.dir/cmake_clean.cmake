@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/health_scenario.dir/health_scenario.cpp.o"
+  "CMakeFiles/health_scenario.dir/health_scenario.cpp.o.d"
+  "health_scenario"
+  "health_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/health_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchy_scenario.dir/hierarchy_scenario.cpp.o"
+  "CMakeFiles/hierarchy_scenario.dir/hierarchy_scenario.cpp.o.d"
+  "hierarchy_scenario"
+  "hierarchy_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchy_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

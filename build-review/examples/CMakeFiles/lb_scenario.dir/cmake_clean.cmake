@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lb_scenario.dir/lb_scenario.cpp.o"
+  "CMakeFiles/lb_scenario.dir/lb_scenario.cpp.o.d"
+  "lb_scenario"
+  "lb_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lb_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

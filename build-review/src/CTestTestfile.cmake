@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("stats")
+subdirs("obs")
+subdirs("par")
+subdirs("logs")
+subdirs("fault")
+subdirs("core")
+subdirs("sim")
+subdirs("lb")
+subdirs("cache")
+subdirs("health")
+subdirs("harvest")

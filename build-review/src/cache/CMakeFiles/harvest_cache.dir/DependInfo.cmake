@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache_sim.cpp" "src/cache/CMakeFiles/harvest_cache.dir/cache_sim.cpp.o" "gcc" "src/cache/CMakeFiles/harvest_cache.dir/cache_sim.cpp.o.d"
+  "/root/repo/src/cache/evictors.cpp" "src/cache/CMakeFiles/harvest_cache.dir/evictors.cpp.o" "gcc" "src/cache/CMakeFiles/harvest_cache.dir/evictors.cpp.o.d"
+  "/root/repo/src/cache/slot_policy.cpp" "src/cache/CMakeFiles/harvest_cache.dir/slot_policy.cpp.o" "gcc" "src/cache/CMakeFiles/harvest_cache.dir/slot_policy.cpp.o.d"
+  "/root/repo/src/cache/store.cpp" "src/cache/CMakeFiles/harvest_cache.dir/store.cpp.o" "gcc" "src/cache/CMakeFiles/harvest_cache.dir/store.cpp.o.d"
+  "/root/repo/src/cache/workload.cpp" "src/cache/CMakeFiles/harvest_cache.dir/workload.cpp.o" "gcc" "src/cache/CMakeFiles/harvest_cache.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/obs/CMakeFiles/harvest_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/harvest_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/logs/CMakeFiles/harvest_logs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/harvest_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/par/CMakeFiles/harvest_par.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/harvest_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harvest_cache.dir/cache_sim.cpp.o"
+  "CMakeFiles/harvest_cache.dir/cache_sim.cpp.o.d"
+  "CMakeFiles/harvest_cache.dir/evictors.cpp.o"
+  "CMakeFiles/harvest_cache.dir/evictors.cpp.o.d"
+  "CMakeFiles/harvest_cache.dir/slot_policy.cpp.o"
+  "CMakeFiles/harvest_cache.dir/slot_policy.cpp.o.d"
+  "CMakeFiles/harvest_cache.dir/store.cpp.o"
+  "CMakeFiles/harvest_cache.dir/store.cpp.o.d"
+  "CMakeFiles/harvest_cache.dir/workload.cpp.o"
+  "CMakeFiles/harvest_cache.dir/workload.cpp.o.d"
+  "libharvest_cache.a"
+  "libharvest_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harvest_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

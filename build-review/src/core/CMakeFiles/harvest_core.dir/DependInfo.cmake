@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bounds.cpp" "src/core/CMakeFiles/harvest_core.dir/bounds.cpp.o" "gcc" "src/core/CMakeFiles/harvest_core.dir/bounds.cpp.o.d"
+  "/root/repo/src/core/dataset.cpp" "src/core/CMakeFiles/harvest_core.dir/dataset.cpp.o" "gcc" "src/core/CMakeFiles/harvest_core.dir/dataset.cpp.o.d"
+  "/root/repo/src/core/estimators/direct.cpp" "src/core/CMakeFiles/harvest_core.dir/estimators/direct.cpp.o" "gcc" "src/core/CMakeFiles/harvest_core.dir/estimators/direct.cpp.o.d"
+  "/root/repo/src/core/estimators/estimator.cpp" "src/core/CMakeFiles/harvest_core.dir/estimators/estimator.cpp.o" "gcc" "src/core/CMakeFiles/harvest_core.dir/estimators/estimator.cpp.o.d"
+  "/root/repo/src/core/estimators/ips.cpp" "src/core/CMakeFiles/harvest_core.dir/estimators/ips.cpp.o" "gcc" "src/core/CMakeFiles/harvest_core.dir/estimators/ips.cpp.o.d"
+  "/root/repo/src/core/estimators/sequence.cpp" "src/core/CMakeFiles/harvest_core.dir/estimators/sequence.cpp.o" "gcc" "src/core/CMakeFiles/harvest_core.dir/estimators/sequence.cpp.o.d"
+  "/root/repo/src/core/feature_vector.cpp" "src/core/CMakeFiles/harvest_core.dir/feature_vector.cpp.o" "gcc" "src/core/CMakeFiles/harvest_core.dir/feature_vector.cpp.o.d"
+  "/root/repo/src/core/linalg.cpp" "src/core/CMakeFiles/harvest_core.dir/linalg.cpp.o" "gcc" "src/core/CMakeFiles/harvest_core.dir/linalg.cpp.o.d"
+  "/root/repo/src/core/policies/basic.cpp" "src/core/CMakeFiles/harvest_core.dir/policies/basic.cpp.o" "gcc" "src/core/CMakeFiles/harvest_core.dir/policies/basic.cpp.o.d"
+  "/root/repo/src/core/policies/greedy.cpp" "src/core/CMakeFiles/harvest_core.dir/policies/greedy.cpp.o" "gcc" "src/core/CMakeFiles/harvest_core.dir/policies/greedy.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/core/CMakeFiles/harvest_core.dir/policy.cpp.o" "gcc" "src/core/CMakeFiles/harvest_core.dir/policy.cpp.o.d"
+  "/root/repo/src/core/policy_class.cpp" "src/core/CMakeFiles/harvest_core.dir/policy_class.cpp.o" "gcc" "src/core/CMakeFiles/harvest_core.dir/policy_class.cpp.o.d"
+  "/root/repo/src/core/propensity.cpp" "src/core/CMakeFiles/harvest_core.dir/propensity.cpp.o" "gcc" "src/core/CMakeFiles/harvest_core.dir/propensity.cpp.o.d"
+  "/root/repo/src/core/reward_model.cpp" "src/core/CMakeFiles/harvest_core.dir/reward_model.cpp.o" "gcc" "src/core/CMakeFiles/harvest_core.dir/reward_model.cpp.o.d"
+  "/root/repo/src/core/safe_improvement.cpp" "src/core/CMakeFiles/harvest_core.dir/safe_improvement.cpp.o" "gcc" "src/core/CMakeFiles/harvest_core.dir/safe_improvement.cpp.o.d"
+  "/root/repo/src/core/train/linucb.cpp" "src/core/CMakeFiles/harvest_core.dir/train/linucb.cpp.o" "gcc" "src/core/CMakeFiles/harvest_core.dir/train/linucb.cpp.o.d"
+  "/root/repo/src/core/train/trainer.cpp" "src/core/CMakeFiles/harvest_core.dir/train/trainer.cpp.o" "gcc" "src/core/CMakeFiles/harvest_core.dir/train/trainer.cpp.o.d"
+  "/root/repo/src/core/trajectory.cpp" "src/core/CMakeFiles/harvest_core.dir/trajectory.cpp.o" "gcc" "src/core/CMakeFiles/harvest_core.dir/trajectory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/harvest_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/harvest_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/par/CMakeFiles/harvest_par.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/harvest_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harvest_fault.dir/fault_spec.cpp.o"
+  "CMakeFiles/harvest_fault.dir/fault_spec.cpp.o.d"
+  "CMakeFiles/harvest_fault.dir/injector.cpp.o"
+  "CMakeFiles/harvest_fault.dir/injector.cpp.o.d"
+  "libharvest_fault.a"
+  "libharvest_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harvest_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

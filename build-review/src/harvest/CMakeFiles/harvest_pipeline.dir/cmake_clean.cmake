@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harvest_pipeline.dir/loop.cpp.o"
+  "CMakeFiles/harvest_pipeline.dir/loop.cpp.o.d"
+  "CMakeFiles/harvest_pipeline.dir/pipeline.cpp.o"
+  "CMakeFiles/harvest_pipeline.dir/pipeline.cpp.o.d"
+  "libharvest_pipeline.a"
+  "libharvest_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harvest_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harvest_health.dir/fleet.cpp.o"
+  "CMakeFiles/harvest_health.dir/fleet.cpp.o.d"
+  "CMakeFiles/harvest_health.dir/scavenge.cpp.o"
+  "CMakeFiles/harvest_health.dir/scavenge.cpp.o.d"
+  "libharvest_health.a"
+  "libharvest_health.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harvest_health.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lb/frontdoor.cpp" "src/lb/CMakeFiles/harvest_lb.dir/frontdoor.cpp.o" "gcc" "src/lb/CMakeFiles/harvest_lb.dir/frontdoor.cpp.o.d"
+  "/root/repo/src/lb/lb_sim.cpp" "src/lb/CMakeFiles/harvest_lb.dir/lb_sim.cpp.o" "gcc" "src/lb/CMakeFiles/harvest_lb.dir/lb_sim.cpp.o.d"
+  "/root/repo/src/lb/routers.cpp" "src/lb/CMakeFiles/harvest_lb.dir/routers.cpp.o" "gcc" "src/lb/CMakeFiles/harvest_lb.dir/routers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/obs/CMakeFiles/harvest_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/harvest_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/harvest_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/logs/CMakeFiles/harvest_logs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/par/CMakeFiles/harvest_par.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/harvest_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/harvest_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harvest_lb.dir/frontdoor.cpp.o"
+  "CMakeFiles/harvest_lb.dir/frontdoor.cpp.o.d"
+  "CMakeFiles/harvest_lb.dir/lb_sim.cpp.o"
+  "CMakeFiles/harvest_lb.dir/lb_sim.cpp.o.d"
+  "CMakeFiles/harvest_lb.dir/routers.cpp.o"
+  "CMakeFiles/harvest_lb.dir/routers.cpp.o.d"
+  "libharvest_lb.a"
+  "libharvest_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harvest_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logs/log_store.cpp" "src/logs/CMakeFiles/harvest_logs.dir/log_store.cpp.o" "gcc" "src/logs/CMakeFiles/harvest_logs.dir/log_store.cpp.o.d"
+  "/root/repo/src/logs/lookahead.cpp" "src/logs/CMakeFiles/harvest_logs.dir/lookahead.cpp.o" "gcc" "src/logs/CMakeFiles/harvest_logs.dir/lookahead.cpp.o.d"
+  "/root/repo/src/logs/record.cpp" "src/logs/CMakeFiles/harvest_logs.dir/record.cpp.o" "gcc" "src/logs/CMakeFiles/harvest_logs.dir/record.cpp.o.d"
+  "/root/repo/src/logs/scavenger.cpp" "src/logs/CMakeFiles/harvest_logs.dir/scavenger.cpp.o" "gcc" "src/logs/CMakeFiles/harvest_logs.dir/scavenger.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/harvest_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/harvest_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/harvest_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/par/CMakeFiles/harvest_par.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/harvest_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

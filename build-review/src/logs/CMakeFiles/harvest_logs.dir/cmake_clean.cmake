@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harvest_logs.dir/log_store.cpp.o"
+  "CMakeFiles/harvest_logs.dir/log_store.cpp.o.d"
+  "CMakeFiles/harvest_logs.dir/lookahead.cpp.o"
+  "CMakeFiles/harvest_logs.dir/lookahead.cpp.o.d"
+  "CMakeFiles/harvest_logs.dir/record.cpp.o"
+  "CMakeFiles/harvest_logs.dir/record.cpp.o.d"
+  "CMakeFiles/harvest_logs.dir/scavenger.cpp.o"
+  "CMakeFiles/harvest_logs.dir/scavenger.cpp.o.d"
+  "libharvest_logs.a"
+  "libharvest_logs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harvest_logs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harvest_obs.dir/export.cpp.o"
+  "CMakeFiles/harvest_obs.dir/export.cpp.o.d"
+  "CMakeFiles/harvest_obs.dir/metrics.cpp.o"
+  "CMakeFiles/harvest_obs.dir/metrics.cpp.o.d"
+  "CMakeFiles/harvest_obs.dir/trace.cpp.o"
+  "CMakeFiles/harvest_obs.dir/trace.cpp.o.d"
+  "libharvest_obs.a"
+  "libharvest_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harvest_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/diagnostics.cpp" "src/obs/CMakeFiles/harvest_obs_diag.dir/diagnostics.cpp.o" "gcc" "src/obs/CMakeFiles/harvest_obs_diag.dir/diagnostics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/obs/CMakeFiles/harvest_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/harvest_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/par/CMakeFiles/harvest_par.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/harvest_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/harvest_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harvest_obs_diag.dir/diagnostics.cpp.o"
+  "CMakeFiles/harvest_obs_diag.dir/diagnostics.cpp.o.d"
+  "libharvest_obs_diag.a"
+  "libharvest_obs_diag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harvest_obs_diag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

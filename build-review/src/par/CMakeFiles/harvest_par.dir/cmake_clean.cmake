@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harvest_par.dir/bootstrap_par.cpp.o"
+  "CMakeFiles/harvest_par.dir/bootstrap_par.cpp.o.d"
+  "CMakeFiles/harvest_par.dir/parallel.cpp.o"
+  "CMakeFiles/harvest_par.dir/parallel.cpp.o.d"
+  "CMakeFiles/harvest_par.dir/thread_pool.cpp.o"
+  "CMakeFiles/harvest_par.dir/thread_pool.cpp.o.d"
+  "libharvest_par.a"
+  "libharvest_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harvest_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

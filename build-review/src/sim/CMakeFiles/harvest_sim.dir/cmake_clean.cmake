@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harvest_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/harvest_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/harvest_sim.dir/simulator.cpp.o"
+  "CMakeFiles/harvest_sim.dir/simulator.cpp.o.d"
+  "libharvest_sim.a"
+  "libharvest_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harvest_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

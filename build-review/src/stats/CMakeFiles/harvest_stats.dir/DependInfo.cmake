@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bootstrap.cpp" "src/stats/CMakeFiles/harvest_stats.dir/bootstrap.cpp.o" "gcc" "src/stats/CMakeFiles/harvest_stats.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/ci.cpp" "src/stats/CMakeFiles/harvest_stats.dir/ci.cpp.o" "gcc" "src/stats/CMakeFiles/harvest_stats.dir/ci.cpp.o.d"
+  "/root/repo/src/stats/distributions.cpp" "src/stats/CMakeFiles/harvest_stats.dir/distributions.cpp.o" "gcc" "src/stats/CMakeFiles/harvest_stats.dir/distributions.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/harvest_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/harvest_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/quantile.cpp" "src/stats/CMakeFiles/harvest_stats.dir/quantile.cpp.o" "gcc" "src/stats/CMakeFiles/harvest_stats.dir/quantile.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/stats/CMakeFiles/harvest_stats.dir/summary.cpp.o" "gcc" "src/stats/CMakeFiles/harvest_stats.dir/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/harvest_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

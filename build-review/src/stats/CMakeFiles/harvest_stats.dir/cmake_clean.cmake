@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harvest_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/harvest_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/harvest_stats.dir/ci.cpp.o"
+  "CMakeFiles/harvest_stats.dir/ci.cpp.o.d"
+  "CMakeFiles/harvest_stats.dir/distributions.cpp.o"
+  "CMakeFiles/harvest_stats.dir/distributions.cpp.o.d"
+  "CMakeFiles/harvest_stats.dir/histogram.cpp.o"
+  "CMakeFiles/harvest_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/harvest_stats.dir/quantile.cpp.o"
+  "CMakeFiles/harvest_stats.dir/quantile.cpp.o.d"
+  "CMakeFiles/harvest_stats.dir/summary.cpp.o"
+  "CMakeFiles/harvest_stats.dir/summary.cpp.o.d"
+  "libharvest_stats.a"
+  "libharvest_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harvest_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

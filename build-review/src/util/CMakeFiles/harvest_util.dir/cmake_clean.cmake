@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harvest_util.dir/csv.cpp.o"
+  "CMakeFiles/harvest_util.dir/csv.cpp.o.d"
+  "CMakeFiles/harvest_util.dir/flags.cpp.o"
+  "CMakeFiles/harvest_util.dir/flags.cpp.o.d"
+  "CMakeFiles/harvest_util.dir/hash.cpp.o"
+  "CMakeFiles/harvest_util.dir/hash.cpp.o.d"
+  "CMakeFiles/harvest_util.dir/rng.cpp.o"
+  "CMakeFiles/harvest_util.dir/rng.cpp.o.d"
+  "CMakeFiles/harvest_util.dir/string_util.cpp.o"
+  "CMakeFiles/harvest_util.dir/string_util.cpp.o.d"
+  "CMakeFiles/harvest_util.dir/table.cpp.o"
+  "CMakeFiles/harvest_util.dir/table.cpp.o.d"
+  "libharvest_util.a"
+  "libharvest_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harvest_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_tests.dir/cache/cache_test.cpp.o"
+  "CMakeFiles/cache_tests.dir/cache/cache_test.cpp.o.d"
+  "cache_tests"
+  "cache_tests.pdb"
+  "cache_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/estimator_property_test.cpp" "tests/CMakeFiles/core_property_tests.dir/core/estimator_property_test.cpp.o" "gcc" "tests/CMakeFiles/core_property_tests.dir/core/estimator_property_test.cpp.o.d"
+  "/root/repo/tests/core/sequence_property_test.cpp" "tests/CMakeFiles/core_property_tests.dir/core/sequence_property_test.cpp.o" "gcc" "tests/CMakeFiles/core_property_tests.dir/core/sequence_property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/harvest/CMakeFiles/harvest_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/fault/CMakeFiles/harvest_fault.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/lb/CMakeFiles/harvest_lb.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/cache/CMakeFiles/harvest_cache.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/health/CMakeFiles/harvest_health.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/logs/CMakeFiles/harvest_logs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/harvest_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/harvest_obs_diag.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/harvest_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/par/CMakeFiles/harvest_par.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/harvest_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/harvest_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/harvest_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_property_tests.dir/core/estimator_property_test.cpp.o"
+  "CMakeFiles/core_property_tests.dir/core/estimator_property_test.cpp.o.d"
+  "CMakeFiles/core_property_tests.dir/core/sequence_property_test.cpp.o"
+  "CMakeFiles/core_property_tests.dir/core/sequence_property_test.cpp.o.d"
+  "core_property_tests"
+  "core_property_tests.pdb"
+  "core_property_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_property_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

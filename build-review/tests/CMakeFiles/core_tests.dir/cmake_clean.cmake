@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/bounds_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/bounds_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/dataset_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/dataset_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/estimator_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/estimator_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/linalg_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/linalg_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/linucb_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/linucb_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/policy_class_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/policy_class_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/policy_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/policy_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/propensity_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/propensity_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/reward_model_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/reward_model_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/safe_improvement_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/safe_improvement_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/sequence_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/sequence_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/trainer_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/trainer_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

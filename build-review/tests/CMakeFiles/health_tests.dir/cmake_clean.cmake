@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/health_tests.dir/health/health_test.cpp.o"
+  "CMakeFiles/health_tests.dir/health/health_test.cpp.o.d"
+  "health_tests"
+  "health_tests.pdb"
+  "health_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/health_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lb_property_tests.dir/lb/lb_property_test.cpp.o"
+  "CMakeFiles/lb_property_tests.dir/lb/lb_property_test.cpp.o.d"
+  "lb_property_tests"
+  "lb_property_tests.pdb"
+  "lb_property_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lb_property_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

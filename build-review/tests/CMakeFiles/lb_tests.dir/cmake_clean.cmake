@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lb_tests.dir/lb/lb_test.cpp.o"
+  "CMakeFiles/lb_tests.dir/lb/lb_test.cpp.o.d"
+  "lb_tests"
+  "lb_tests.pdb"
+  "lb_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lb_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logs_tests.dir/logs/logs_test.cpp.o"
+  "CMakeFiles/logs_tests.dir/logs/logs_test.cpp.o.d"
+  "logs_tests"
+  "logs_tests.pdb"
+  "logs_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logs_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/par_stress_tests.dir/par/obs_stress_test.cpp.o"
+  "CMakeFiles/par_stress_tests.dir/par/obs_stress_test.cpp.o.d"
+  "par_stress_tests"
+  "par_stress_tests.pdb"
+  "par_stress_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/par_stress_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_property_tests.dir/stats/quantile_property_test.cpp.o"
+  "CMakeFiles/stats_property_tests.dir/stats/quantile_property_test.cpp.o.d"
+  "stats_property_tests"
+  "stats_property_tests.pdb"
+  "stats_property_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_property_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

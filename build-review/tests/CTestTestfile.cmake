@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/util_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/stats_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/par_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/par_stress_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/core_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/core_property_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/obs_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/logs_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/fault_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/fault_property_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/stats_property_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/lb_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/lb_property_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/cache_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/health_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/integration_tests[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harvest_inspect.dir/harvest_inspect.cpp.o"
+  "CMakeFiles/harvest_inspect.dir/harvest_inspect.cpp.o.d"
+  "harvest_inspect"
+  "harvest_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harvest_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-review/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(harvest_inspect_selftest "/root/repo/build-review/tools/harvest_inspect" "--selftest")
+set_tests_properties(harvest_inspect_selftest PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(harvest_inspect_diagnostics "/root/repo/build-review/tools/harvest_inspect" "--selftest" "--diagnostics" "--trace" "inspect_trace.jsonl")
+set_tests_properties(harvest_inspect_diagnostics PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(harvest_inspect_injection "/root/repo/build-review/tools/harvest_inspect" "--selftest" "--diagnostics" "--inject" "torn=0.05,dup=0.02,corrupt=0.03" "--inject-seed" "7")
+set_tests_properties(harvest_inspect_injection PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
