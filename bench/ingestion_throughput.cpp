@@ -1,0 +1,212 @@
+// Ingestion throughput: text parse vs HLOG columnar scan over the same
+// corpus. This is the cost the paper's methodology pays before any
+// estimator runs — scavenging ⟨x, a, r, p⟩ tuples out of logs — and the
+// reason the HLOG store exists: parsing key=value text is the slowest
+// stage of every scenario, while a compacted corpus scans at memory speed.
+//
+// Reports records/sec and MB/sec for both paths as JSON (stdout and
+// optionally --json-out FILE). The run also proves the two paths agree:
+// the harvested datasets must be bit-identical or the bench exits nonzero.
+// --min-speedup X additionally fails the run when HLOG does not beat text
+// by at least Xx in records/sec (CI pins 3x).
+//
+// Flags: --records N --reps N --min-speedup X --json-out FILE
+//        plus the common --seed/--fast/--threads/--metrics-out.
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "harvest/harvest.h"
+
+namespace {
+
+using namespace harvest;
+
+logs::ScavengeSpec demo_spec() {
+  logs::ScavengeSpec spec;
+  spec.decision_event = "decide";
+  spec.context_fields = {"load"};
+  spec.action_field = "choice";
+  spec.reward_field = "reward";
+  spec.num_actions = 3;
+  spec.reward_range = {-0.5, 1.5};
+  spec.reward_transform = [](double r) { return r; };
+  return spec;
+}
+
+std::string make_demo_text(std::size_t records, std::uint64_t seed) {
+  util::Rng rng(seed);
+  logs::LogStore log;
+  for (std::size_t i = 0; i < records; ++i) {
+    const double load = rng.uniform(0.0, 10.0);
+    const auto action = static_cast<core::ActionId>(rng.uniform_index(3));
+    const double reward =
+        0.5 + 0.04 * static_cast<double>(action) * (load - 5.0) +
+        rng.normal(0.0, 0.05);
+    logs::Record rec;
+    rec.time = static_cast<double>(i) * 0.5;
+    rec.event = "decide";
+    rec.set("load", load);
+    rec.set("choice", static_cast<std::int64_t>(action));
+    rec.set("reward", reward);
+    log.append(std::move(rec));
+  }
+  std::ostringstream out;
+  log.write_text(out);
+  return out.str();
+}
+
+bool identical(const core::ExplorationDataset& a,
+               const core::ExplorationDataset& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].action != b[i].action ||
+        std::memcmp(&a[i].reward, &b[i].reward, sizeof(double)) != 0 ||
+        std::memcmp(&a[i].propensity, &b[i].propensity, sizeof(double)) !=
+            0 ||
+        a[i].context.size() != b[i].context.size()) {
+      return false;
+    }
+    for (std::size_t f = 0; f < a[i].context.size(); ++f) {
+      const double fa = a[i].context[f];
+      const double fb = b[i].context[f];
+      if (std::memcmp(&fa, &fb, sizeof(double)) != 0) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags raw_flags(argc, argv);
+  const auto flags = bench::CommonFlags::parse(raw_flags);
+  const auto records = static_cast<std::size_t>(
+      raw_flags.get_int("records", flags.fast ? 50000 : 400000));
+  const auto reps =
+      static_cast<std::size_t>(raw_flags.get_int("reps", 5));
+  const double min_speedup = raw_flags.get_double("min-speedup", 0.0);
+
+  bench::banner(
+      "Ingestion throughput: text parse vs HLOG columnar scan",
+      "step-1 data loading should run as fast as the hardware allows");
+  const logs::ScavengeSpec spec = demo_spec();
+  const std::string text = make_demo_text(records, flags.seed);
+  std::cout << "corpus: " << records << " records, " << text.size()
+            << " bytes of text, " << reps << " reps, " << flags.threads
+            << " threads\n";
+
+  // Text path: chunked parse + scavenge, exactly what harvest_inspect does.
+  core::ExplorationDataset text_data(spec.num_actions, spec.reward_range);
+  double text_best_ms = 0;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    bench::WallTimer timer;
+    std::istringstream stream(text);
+    const auto [log, stats] = logs::LogStore::read_text_chunked(stream);
+    logs::ScavengeResult result = logs::scavenge(log, spec);
+    const double ms = timer.elapsed_ms();
+    if (rep == 0 || ms < text_best_ms) text_best_ms = ms;
+    text_data = std::move(result.data);
+  }
+
+  // Compact once (writer cost reported separately — it is paid once per
+  // corpus, amortized over every later scan), then time the HLOG path.
+  bench::WallTimer compact_timer;
+  std::ostringstream hlog_stream;
+  {
+    store::Schema schema;
+    schema.decision_event = spec.decision_event;
+    schema.context_fields = spec.context_fields;
+    schema.action_field = spec.action_field;
+    schema.reward_field = spec.reward_field;
+    schema.num_actions = static_cast<std::uint32_t>(spec.num_actions);
+    schema.reward_lo = spec.reward_range.lo;
+    schema.reward_hi = spec.reward_range.hi;
+    store::Writer writer(hlog_stream, schema);
+    std::istringstream stream(text);
+    const auto [log, stats] = logs::LogStore::read_text_chunked(stream);
+    logs::ScavengeSpec compact_spec = spec;
+    compact_spec.on_harvest = [&](const logs::Record& rec,
+                                  const core::ExplorationPoint& point) {
+      writer.add(rec.time, point.context.values(), point.action,
+                 point.reward, point.propensity);
+    };
+    const logs::ScavengeResult scavenged = logs::scavenge(log, compact_spec);
+    store::Counts counts;
+    counts.records_seen = scavenged.records_seen;
+    counts.decisions_seen = scavenged.decisions_seen;
+    counts.dropped_missing_fields = scavenged.dropped_missing_fields;
+    counts.dropped_bad_action = scavenged.dropped_bad_action;
+    counts.dropped_bad_propensity = scavenged.dropped_bad_propensity;
+    counts.dropped_stale_timestamp = scavenged.dropped_stale_timestamp;
+    writer.set_counts(counts);
+    writer.finish();
+  }
+  const double compact_ms = compact_timer.elapsed_ms();
+  const std::string hlog_bytes = hlog_stream.str();
+
+  core::ExplorationDataset hlog_data(spec.num_actions, spec.reward_range);
+  double hlog_best_ms = 0;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    bench::WallTimer timer;
+    store::Reader reader = store::Reader::from_memory(hlog_bytes);
+    logs::ScavengeResult result = logs::scavenge(reader, spec);
+    const double ms = timer.elapsed_ms();
+    if (rep == 0 || ms < hlog_best_ms) hlog_best_ms = ms;
+    hlog_data = std::move(result.data);
+  }
+
+  if (!identical(text_data, hlog_data)) {
+    std::cerr << "FAIL: HLOG scavenge is not bit-identical to text "
+                 "scavenge\n";
+    return 1;
+  }
+
+  const double n = static_cast<double>(records);
+  const double text_rps = n / (text_best_ms / 1000.0);
+  const double hlog_rps = n / (hlog_best_ms / 1000.0);
+  const double text_mbps =
+      static_cast<double>(text.size()) / 1048576.0 / (text_best_ms / 1000.0);
+  const double hlog_mbps = static_cast<double>(hlog_bytes.size()) /
+                           1048576.0 / (hlog_best_ms / 1000.0);
+  const double speedup = text_best_ms / hlog_best_ms;
+
+  std::ostringstream json;
+  json.precision(6);
+  json << "{\"records\": " << records << ", \"text_bytes\": " << text.size()
+       << ", \"hlog_bytes\": " << hlog_bytes.size()
+       << ", \"compression\": "
+       << static_cast<double>(hlog_bytes.size()) /
+              static_cast<double>(text.size())
+       << ", \"compact_ms\": " << compact_ms
+       << ", \"text_ms\": " << text_best_ms
+       << ", \"hlog_ms\": " << hlog_best_ms
+       << ", \"text_records_per_sec\": " << text_rps
+       << ", \"hlog_records_per_sec\": " << hlog_rps
+       << ", \"text_mb_per_sec\": " << text_mbps
+       << ", \"hlog_mb_per_sec\": " << hlog_mbps
+       << ", \"speedup\": " << speedup << ", \"threads\": " << flags.threads
+       << "}";
+  std::cout << json.str() << "\n";
+  if (!raw_flags.get_string("json-out", "").empty()) {
+    std::ofstream out(raw_flags.get_string("json-out", ""));
+    out << json.str() << "\n";
+  }
+
+  obs::Registry& registry = obs::Registry::global();
+  registry.gauge("ingest_text_records_per_sec").set(text_rps);
+  registry.gauge("ingest_hlog_records_per_sec").set(hlog_rps);
+  registry.gauge("ingest_speedup").set(speedup);
+  bench::export_metrics(flags);
+
+  if (min_speedup > 0 && speedup < min_speedup) {
+    std::cerr << "FAIL: HLOG speedup " << speedup << "x is below the "
+              << min_speedup << "x floor\n";
+    return 1;
+  }
+  return 0;
+}

@@ -32,6 +32,9 @@
 #include "fault/fault_spec.h"
 #include "fault/injector.h"
 
+// HLOG binary columnar store (compacted corpora, mmap scans, block CRCs).
+#include "store/store.h"
+
 // End-to-end methodology (§3, steps 1-3).
 #include "harvest/loop.h"
 #include "harvest/pipeline.h"

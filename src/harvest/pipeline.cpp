@@ -15,7 +15,11 @@ obs::Labels pipeline_labels(const PipelineConfig& config) {
   return {{"pipeline", config.obs_label}};
 }
 
-core::ExplorationDataset scavenge_and_infer(const logs::LogStore& log,
+/// Step-1 source abstraction: the pipeline is identical for text logs and
+/// HLOG corpora except for how the ScavengeResult is produced.
+using ScavengeFn = std::function<logs::ScavengeResult()>;
+
+core::ExplorationDataset scavenge_and_infer(const ScavengeFn& scavenge_fn,
                                             const PipelineConfig& config,
                                             HarvestReport& report) {
   obs::Registry& registry = obs::Registry::global();
@@ -24,7 +28,7 @@ core::ExplorationDataset scavenge_and_infer(const logs::LogStore& log,
   // Step 1: scavenge.
   logs::ScavengeResult scavenged = [&] {
     obs::ScopedSpan span("pipeline.scavenge");
-    return logs::scavenge(log, config.spec);
+    return scavenge_fn();
   }();
   report.records_seen = scavenged.records_seen;
   report.decisions_seen = scavenged.decisions_seen;
@@ -34,6 +38,7 @@ core::ExplorationDataset scavenge_and_infer(const logs::LogStore& log,
   report.dropped_bad_action = scavenged.dropped_bad_action;
   report.dropped_bad_propensity = scavenged.dropped_bad_propensity;
   report.dropped_stale_timestamp = scavenged.dropped_stale_timestamp;
+  report.dropped_corrupt_block = scavenged.dropped_corrupt_block;
   report.quarantine_rate =
       scavenged.decisions_seen == 0
           ? 0.0
@@ -61,6 +66,8 @@ core::ExplorationDataset scavenge_and_infer(const logs::LogStore& log,
               scavenged.dropped_bad_propensity);
   quarantined(logs::to_string(QuarantineClass::kStaleTimestamp),
               scavenged.dropped_stale_timestamp);
+  quarantined(logs::to_string(QuarantineClass::kCorruptBlock),
+              scavenged.dropped_corrupt_block);
   registry.gauge("harvest_quarantine_rate", labels)
       .set(report.quarantine_rate);
 
@@ -106,10 +113,8 @@ void run_diagnostics(const core::ExplorationDataset& data,
   }
 }
 
-}  // namespace
-
-HarvestReport evaluate_candidates(
-    const logs::LogStore& log, const PipelineConfig& config,
+HarvestReport evaluate_candidates_impl(
+    const ScavengeFn& scavenge_fn, const PipelineConfig& config,
     const std::vector<core::PolicyPtr>& candidates,
     core::ExplorationDataset* harvested_out) {
   if (!config.estimator) {
@@ -117,7 +122,8 @@ HarvestReport evaluate_candidates(
   }
   obs::ScopedSpan root("pipeline.evaluate_candidates");
   HarvestReport report;
-  core::ExplorationDataset data = scavenge_and_infer(log, config, report);
+  core::ExplorationDataset data =
+      scavenge_and_infer(scavenge_fn, config, report);
   if (data.empty()) {
     throw std::runtime_error(
         "evaluate_candidates: no exploration data harvested");
@@ -163,18 +169,54 @@ HarvestReport evaluate_candidates(
   return report;
 }
 
-core::PolicyPtr optimize_policy(const logs::LogStore& log,
-                                const PipelineConfig& config,
-                                core::TrainConfig train_config) {
+core::PolicyPtr optimize_policy_impl(const ScavengeFn& scavenge_fn,
+                                     const PipelineConfig& config,
+                                     core::TrainConfig train_config) {
   obs::ScopedSpan root("pipeline.optimize_policy");
   HarvestReport report;
-  core::ExplorationDataset data = scavenge_and_infer(log, config, report);
+  core::ExplorationDataset data =
+      scavenge_and_infer(scavenge_fn, config, report);
   if (data.empty()) {
     throw std::runtime_error("optimize_policy: no exploration data harvested");
   }
   run_diagnostics(data, config, report);
   obs::ScopedSpan span("pipeline.train");
   return core::train_cb_policy(data, train_config);
+}
+
+}  // namespace
+
+HarvestReport evaluate_candidates(
+    const logs::LogStore& log, const PipelineConfig& config,
+    const std::vector<core::PolicyPtr>& candidates,
+    core::ExplorationDataset* harvested_out) {
+  return evaluate_candidates_impl(
+      [&] { return logs::scavenge(log, config.spec); }, config, candidates,
+      harvested_out);
+}
+
+HarvestReport evaluate_candidates(
+    const store::Reader& reader, const PipelineConfig& config,
+    const std::vector<core::PolicyPtr>& candidates,
+    core::ExplorationDataset* harvested_out) {
+  return evaluate_candidates_impl(
+      [&] { return logs::scavenge(reader, config.spec); }, config, candidates,
+      harvested_out);
+}
+
+core::PolicyPtr optimize_policy(const logs::LogStore& log,
+                                const PipelineConfig& config,
+                                core::TrainConfig train_config) {
+  return optimize_policy_impl([&] { return logs::scavenge(log, config.spec); },
+                              config, train_config);
+}
+
+core::PolicyPtr optimize_policy(const store::Reader& reader,
+                                const PipelineConfig& config,
+                                core::TrainConfig train_config) {
+  return optimize_policy_impl(
+      [&] { return logs::scavenge(reader, config.spec); }, config,
+      train_config);
 }
 
 }  // namespace harvest::pipeline

@@ -17,6 +17,7 @@
 #include "core/train/trainer.h"
 #include "logs/scavenger.h"
 #include "obs/diagnostics.h"
+#include "store/reader.h"
 
 namespace harvest::pipeline {
 
@@ -42,6 +43,7 @@ struct HarvestReport {
   std::size_t dropped_bad_action = 0;
   std::size_t dropped_bad_propensity = 0;
   std::size_t dropped_stale_timestamp = 0;
+  std::size_t dropped_corrupt_block = 0;
   /// decisions_dropped / decisions_seen (0 when no decisions). Everything
   /// downstream — ESS, CIs, Eq. 1 widths — is computed against the
   /// *surviving* sample; this rate says how much of the log it represents.
@@ -97,9 +99,24 @@ HarvestReport evaluate_candidates(
     const std::vector<core::PolicyPtr>& candidates,
     core::ExplorationDataset* harvested_out = nullptr);
 
+/// Same pipeline over a compacted HLOG corpus (the binary fast path): step 1
+/// becomes a parallel column scan instead of a text parse, with identical
+/// results for a corpus compacted under `config.spec` (see logs::scavenge's
+/// Reader overload for the matching rules; corrupt blocks surface as
+/// dropped_corrupt_block).
+HarvestReport evaluate_candidates(
+    const store::Reader& reader, const PipelineConfig& config,
+    const std::vector<core::PolicyPtr>& candidates,
+    core::ExplorationDataset* harvested_out = nullptr);
+
 /// Runs steps 1-3 for optimization: scavenges, infers, and trains a CB
 /// policy on the harvested data.
 core::PolicyPtr optimize_policy(const logs::LogStore& log,
+                                const PipelineConfig& config,
+                                core::TrainConfig train_config = {});
+
+/// Optimization over a compacted HLOG corpus.
+core::PolicyPtr optimize_policy(const store::Reader& reader,
                                 const PipelineConfig& config,
                                 core::TrainConfig train_config = {});
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "store/reader.h"
+
 namespace harvest::logs {
 
 std::string_view to_string(QuarantineClass cls) {
@@ -14,11 +16,16 @@ std::string_view to_string(QuarantineClass cls) {
       return "bad_propensity";
     case QuarantineClass::kStaleTimestamp:
       return "stale_timestamp";
+    case QuarantineClass::kCorruptBlock:
+      return "corrupt_block";
   }
   return "unknown";
 }
 
-ScavengeResult scavenge(const LogStore& log, const ScavengeSpec& spec) {
+namespace {
+
+/// Shared spec validation for both the text and HLOG paths.
+void validate_spec(const ScavengeSpec& spec) {
   if (spec.decision_event.empty()) {
     throw std::invalid_argument("scavenge: decision_event required");
   }
@@ -31,10 +38,16 @@ ScavengeResult scavenge(const LogStore& log, const ScavengeSpec& spec) {
   if (spec.stale_after_seconds < 0) {
     throw std::invalid_argument("scavenge: stale_after_seconds must be >= 0");
   }
+}
+
+}  // namespace
+
+ScavengeResult scavenge(const LogStore& log, const ScavengeSpec& spec) {
+  validate_spec(spec);
 
   ScavengeResult result{core::ExplorationDataset(spec.num_actions,
                                                  spec.reward_range),
-                        0, 0, 0, 0, 0, 0};
+                        0, 0, 0, 0, 0, 0, 0};
   const auto quarantine = [&](QuarantineClass cls, const Record& rec,
                               std::size_t& counter) {
     ++counter;
@@ -108,6 +121,74 @@ ScavengeResult scavenge(const LogStore& log, const ScavengeSpec& spec) {
         core::FeatureVector(std::move(features)),
         static_cast<core::ActionId>(*action_raw),
         spec.reward_transform(*reward_raw), propensity});
+    if (spec.on_harvest) {
+      spec.on_harvest(rec, result.data[result.data.size() - 1]);
+    }
+  }
+  return result;
+}
+
+ScavengeResult scavenge(const store::Reader& reader,
+                        const ScavengeSpec& spec) {
+  validate_spec(spec);
+  const store::Schema& schema = reader.schema();
+  const auto mismatch = [&](const std::string& what) {
+    throw std::invalid_argument(
+        "scavenge: spec does not match the HLOG schema (" + what +
+        ") — this corpus was compacted under a different field mapping");
+  };
+  if (schema.decision_event != spec.decision_event) mismatch("decision_event");
+  if (schema.context_fields != spec.context_fields) mismatch("context_fields");
+  if (schema.action_field != spec.action_field) mismatch("action_field");
+  if (schema.reward_field != spec.reward_field) mismatch("reward_field");
+  if (schema.propensity_field != spec.propensity_field) {
+    mismatch("propensity_field");
+  }
+  if (schema.num_actions != spec.num_actions) mismatch("num_actions");
+  if (schema.stale_after_seconds != spec.stale_after_seconds) {
+    mismatch("stale_after_seconds");
+  }
+  if (schema.reward_lo != spec.reward_range.lo ||
+      schema.reward_hi != spec.reward_range.hi) {
+    mismatch("reward_range");
+  }
+
+  const store::ScanResult scan = reader.scan();
+  const store::Counts& counts = reader.counts();
+  ScavengeResult result{core::ExplorationDataset(spec.num_actions,
+                                                 spec.reward_range),
+                        static_cast<std::size_t>(counts.records_seen),
+                        static_cast<std::size_t>(counts.decisions_seen),
+                        static_cast<std::size_t>(counts.dropped_missing_fields),
+                        static_cast<std::size_t>(counts.dropped_bad_action),
+                        static_cast<std::size_t>(counts.dropped_bad_propensity),
+                        static_cast<std::size_t>(
+                            counts.dropped_stale_timestamp),
+                        static_cast<std::size_t>(scan.rows_quarantined())};
+
+  // Corrupt blocks join the quarantine ledger like any other drop class;
+  // the synthetic record carries the block coordinates a dead-letter
+  // consumer needs to go find the damage.
+  if (spec.on_quarantine) {
+    for (const auto& q : scan.quarantined) {
+      Record rec;
+      rec.event = "hlog.corrupt_block";
+      rec.set("block", static_cast<std::int64_t>(q.block));
+      rec.set("rows", static_cast<std::int64_t>(q.rows));
+      rec.set("reason", q.reason);
+      spec.on_quarantine(QuarantineClass::kCorruptBlock, rec);
+    }
+  }
+
+  const std::size_t dim = scan.context_dim;
+  result.data.reserve(scan.rows());
+  for (std::size_t i = 0; i < scan.rows(); ++i) {
+    std::vector<double> features(scan.context.begin() + i * dim,
+                                 scan.context.begin() + (i + 1) * dim);
+    result.data.add(core::ExplorationPoint{
+        core::FeatureVector(std::move(features)),
+        static_cast<core::ActionId>(scan.action[i]),
+        spec.reward_transform(scan.reward[i]), scan.propensity[i]});
   }
   return result;
 }

@@ -12,6 +12,10 @@
 #include "core/dataset.h"
 #include "logs/log_store.h"
 
+namespace harvest::store {
+class Reader;  // store/reader.h; scavenge has an HLOG fast path
+}
+
 namespace harvest::logs {
 
 /// Why a decision record was quarantined instead of harvested. Every dropped
@@ -23,6 +27,8 @@ enum class QuarantineClass {
   kBadAction,       ///< action index outside [0, num_actions)
   kBadPropensity,   ///< propensity present but outside (0, 1]
   kStaleTimestamp,  ///< timestamp too far behind the stream's high-water mark
+  kCorruptBlock,    ///< HLOG column block failed its CRC; all rows of the
+                    ///  block are dropped together (binary path only)
 };
 
 std::string_view to_string(QuarantineClass cls);
@@ -55,8 +61,17 @@ struct ScavengeSpec {
 
   /// Optional quarantine channel: invoked once per dropped decision with
   /// the classification and the offending record. Lets callers divert bad
-  /// records to a dead-letter log instead of merely counting them.
+  /// records to a dead-letter log instead of merely counting them. On the
+  /// HLOG path a corrupt block raises one synthetic "hlog.corrupt_block"
+  /// record (fields: block, rows, reason) — there is no original text to
+  /// divert.
   std::function<void(QuarantineClass, const Record&)> on_quarantine;
+
+  /// Optional harvest tap: invoked once per *kept* decision with the source
+  /// record and the tuple just added. This is how harvest_compact captures
+  /// timestamps alongside tuples without re-running field extraction (text
+  /// path only; HLOG rows no longer carry their source records).
+  std::function<void(const Record&, const core::ExplorationPoint&)> on_harvest;
 };
 
 /// Scavenging outcome: the dataset plus data-quality counters, because real
@@ -69,17 +84,30 @@ struct ScavengeResult {
   std::size_t dropped_bad_action = 0;
   std::size_t dropped_bad_propensity = 0;
   std::size_t dropped_stale_timestamp = 0;
+  std::size_t dropped_corrupt_block = 0;
 
   /// Total quarantined decisions; decisions_seen - total_dropped() is the
   /// surviving sample the estimators actually run on.
   std::size_t total_dropped() const {
     return dropped_missing_fields + dropped_bad_action +
-           dropped_bad_propensity + dropped_stale_timestamp;
+           dropped_bad_propensity + dropped_stale_timestamp +
+           dropped_corrupt_block;
   }
 };
 
 /// Runs the spec over the log. Throws std::invalid_argument on a malformed
 /// spec (no decision event, zero actions, missing transform).
 ScavengeResult scavenge(const LogStore& log, const ScavengeSpec& spec);
+
+/// The HLOG fast path: scans a compacted corpus and rebuilds the exact
+/// ScavengeResult the text path would have produced — tuples bit-identical
+/// and in the same order (validation ran at compaction; raw rewards are
+/// stored, so `spec.reward_transform` is applied here), counters restored
+/// from the footer ledger, plus any CRC-quarantined blocks accounted as
+/// kCorruptBlock drops. Throws std::invalid_argument when `spec` does not
+/// match the schema the corpus was compacted under: a mismatched field
+/// mapping would silently scavenge a different question, so it is refused
+/// (re-scavenge the original text instead).
+ScavengeResult scavenge(const store::Reader& reader, const ScavengeSpec& spec);
 
 }  // namespace harvest::logs

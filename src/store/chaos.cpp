@@ -1,0 +1,56 @@
+#include "store/chaos.h"
+
+#include <stdexcept>
+
+#include "store/encoding.h"
+#include "store/reader.h"
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace harvest::store {
+
+CorruptionReport corrupt_blocks(std::string& bytes, std::uint64_t seed,
+                                double fraction) {
+  if (fraction < 0 || fraction > 1) {
+    throw std::invalid_argument(
+        "store::corrupt_blocks: fraction must be in [0, 1]");
+  }
+  // Parse a pristine copy for the shard index; mutation happens on `bytes`.
+  const Reader reader = Reader::from_memory(bytes);
+
+  CorruptionReport report;
+  std::size_t block_index = 0;
+  for (const auto& shard : reader.shards()) {
+    std::size_t pos = shard.offset;
+    for (std::uint32_t b = 0; b < shard.blocks; ++b, ++block_index) {
+      const std::uint32_t rows = get_u32(bytes.data() + pos + 4);
+      std::size_t cursor = pos + 8;
+      std::size_t col_at[kNumColumns];
+      std::uint32_t col_len[kNumColumns];
+      for (std::size_t col = 0; col < kNumColumns; ++col) {
+        col_len[col] = get_u32(bytes.data() + cursor);
+        col_at[col] = cursor + 8;
+        cursor += 8 + col_len[col];
+      }
+      ++report.blocks_total;
+
+      util::Rng rng(util::derive_stream_seed(seed, block_index));
+      if (rng.uniform() >= fraction) {
+        pos = cursor;
+        continue;
+      }
+      const std::size_t col = rng.uniform_index(kNumColumns);
+      if (col_len[col] > 0) {
+        const std::size_t byte = rng.uniform_index(col_len[col]);
+        bytes[col_at[col] + byte] =
+            static_cast<char>(bytes[col_at[col] + byte] ^ 0xFF);
+        ++report.blocks_corrupted;
+        report.rows_affected += rows;
+      }
+      pos = cursor;
+    }
+  }
+  return report;
+}
+
+}  // namespace harvest::store

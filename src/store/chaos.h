@@ -1,0 +1,32 @@
+// Deterministic block-level corruption for chaos-testing the HLOG read
+// path — the binary-format counterpart of fault::FaultInjector's text
+// faults. Follows the same determinism contract (util::derive_stream_seed
+// per block index): the corrupted image is a pure function of
+// (bytes, seed, fraction), independent of call order or thread count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace harvest::store {
+
+/// What one corruption pass did; block indices are file-global, matching
+/// ScanResult::QuarantinedBlock numbering so sweeps reconcile exactly.
+struct CorruptionReport {
+  std::size_t blocks_total = 0;
+  std::size_t blocks_corrupted = 0;
+  std::uint64_t rows_affected = 0;
+};
+
+/// Flips one payload byte (XOR 0xFF — guaranteed to change) in a column of
+/// each selected block of an in-memory HLOG image. Block i is selected with
+/// probability `fraction` by its own RNG stream derive_stream_seed(seed, i);
+/// the column and byte offset come from the same stream. Only column
+/// payloads are touched — framing, schema, and footer stay intact — so a
+/// subsequent scan quarantines exactly the selected blocks and reads the
+/// rest. Throws std::runtime_error when `bytes` is not a valid HLOG image.
+CorruptionReport corrupt_blocks(std::string& bytes, std::uint64_t seed,
+                                double fraction);
+
+}  // namespace harvest::store

@@ -1,0 +1,64 @@
+#include "store/crc32c.h"
+
+#include <array>
+#include <cstddef>
+
+namespace harvest::store {
+
+namespace {
+
+constexpr std::uint32_t kPolyReflected = 0x82F63B78;  // 0x1EDC6F41 reflected
+
+/// 4 slice tables built at static-init time; table[0] is the classic
+/// byte-at-a-time table and table[k] advances a byte k positions deep.
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 4> t{};
+
+  Tables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1) ? (crc >> 1) ^ kPolyReflected : crc >> 1;
+      }
+      t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = t[0][i];
+      for (std::size_t k = 1; k < 4; ++k) {
+        crc = t[0][crc & 0xFF] ^ (crc >> 8);
+        t[k][i] = crc;
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(std::string_view bytes, std::uint32_t seed) {
+  const auto& t = tables().t;
+  std::uint32_t crc = ~seed;
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(bytes.data());
+  std::size_t n = bytes.size();
+  while (n >= 4) {
+    crc ^= static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+    crc = t[3][crc & 0xFF] ^ t[2][(crc >> 8) & 0xFF] ^
+          t[1][(crc >> 16) & 0xFF] ^ t[0][crc >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n-- > 0) {
+    crc = t[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace harvest::store

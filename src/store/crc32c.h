@@ -1,0 +1,16 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41) — the checksum guarding every
+// HLOG column payload. Software slice-by-4 implementation: dependency-free,
+// identical output on every platform, and fast enough that checksumming is
+// invisible next to varint decoding on the scan path.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace harvest::store {
+
+/// CRC32C of `bytes` continuing from `seed` (pass the previous return value
+/// to checksum a logical stream in pieces). `seed` 0 starts a fresh CRC.
+std::uint32_t crc32c(std::string_view bytes, std::uint32_t seed = 0);
+
+}  // namespace harvest::store

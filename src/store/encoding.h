@@ -1,0 +1,193 @@
+// Byte-level codecs shared by the HLOG writer and reader: little-endian
+// fixed-width primitives, LEB128 varints, zigzag, and the two exact column
+// codecs (XOR-prev f64, delta-zigzag u32). Everything here is pure
+// function-of-input — no locale, no platform byte-order dependence — which
+// is what makes writer output and reader scans bit-reproducible anywhere.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace harvest::store {
+
+// ---- fixed-width little-endian primitives ---------------------------------
+
+inline void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+inline void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+inline void put_u64(std::string& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v & 0xFFFFFFFFu));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+inline void put_f64(std::string& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+/// Bounds-unchecked reads — callers validate lengths against the section
+/// framing before decoding (a CRC-verified payload cannot be short).
+inline std::uint16_t get_u16(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+}
+
+inline std::uint32_t get_u32(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+inline std::uint64_t get_u64(const char* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+inline double get_f64(const char* p) {
+  return std::bit_cast<double>(get_u64(p));
+}
+
+// ---- varint / zigzag ------------------------------------------------------
+
+inline void put_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+/// Decodes one varint from [*pos, data.size()); advances *pos. Returns false
+/// on truncation or a varint longer than 10 bytes (overlong encodings of
+/// values that fit 64 bits are accepted; the writer never emits them).
+inline bool get_varint(std::string_view data, std::size_t* pos,
+                       std::uint64_t* out) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (*pos < data.size() && shift < 70) {
+    const auto byte = static_cast<unsigned char>(data[*pos]);
+    ++*pos;
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = v;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+inline std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+// ---- column codecs --------------------------------------------------------
+
+/// f64 column: varint of bits(v[i]) XOR bits(v[i-1]), prev starts at 0.
+/// Exact for every bit pattern; constant runs cost one byte per row.
+inline void encode_f64_column(std::span<const double> values,
+                              std::string& out) {
+  std::uint64_t prev = 0;
+  for (const double v : values) {
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+    put_varint(out, bits ^ prev);
+    prev = bits;
+  }
+}
+
+/// Decodes exactly `rows` values into `out` (appended). Returns false when
+/// the payload is truncated or has trailing garbage — treated by the reader
+/// as block corruption that slipped past a CRC collision.
+inline bool decode_f64_column(std::string_view payload, std::size_t rows,
+                              std::vector<double>& out) {
+  std::size_t pos = 0;
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::uint64_t delta = 0;
+    if (!get_varint(payload, &pos, &delta)) return false;
+    prev ^= delta;
+    out.push_back(std::bit_cast<double>(prev));
+  }
+  return pos == payload.size();
+}
+
+/// Same codec, decoding into a pre-assigned slot (parallel shard scans
+/// write disjoint ranges of one output array).
+inline bool decode_f64_column_into(std::string_view payload, std::size_t rows,
+                                   double* out) {
+  std::size_t pos = 0;
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::uint64_t delta = 0;
+    if (!get_varint(payload, &pos, &delta)) return false;
+    prev ^= delta;
+    out[i] = std::bit_cast<double>(prev);
+  }
+  return pos == payload.size();
+}
+
+/// Action column: varint of zigzag(delta), prev starts at 0. Small action
+/// sets make every delta a single byte.
+inline void encode_u32_column(std::span<const std::uint32_t> values,
+                              std::string& out) {
+  std::int64_t prev = 0;
+  for (const std::uint32_t v : values) {
+    put_varint(out, zigzag(static_cast<std::int64_t>(v) - prev));
+    prev = static_cast<std::int64_t>(v);
+  }
+}
+
+inline bool decode_u32_column_into(std::string_view payload, std::size_t rows,
+                                   std::uint32_t* out) {
+  std::size_t pos = 0;
+  std::int64_t prev = 0;
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::uint64_t raw = 0;
+    if (!get_varint(payload, &pos, &raw)) return false;
+    prev += unzigzag(raw);
+    if (prev < 0 || prev > 0xFFFFFFFFll) return false;
+    out[i] = static_cast<std::uint32_t>(prev);
+  }
+  return pos == payload.size();
+}
+
+// ---- length-prefixed strings (schema section) -----------------------------
+
+inline void put_str(std::string& out, std::string_view s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+inline bool get_str(std::string_view data, std::size_t* pos,
+                    std::string* out) {
+  if (*pos + 4 > data.size()) return false;
+  const std::uint32_t len = get_u32(data.data() + *pos);
+  *pos += 4;
+  if (*pos + len > data.size()) return false;
+  out->assign(data.substr(*pos, len));
+  *pos += len;
+  return true;
+}
+
+}  // namespace harvest::store

@@ -1,0 +1,11 @@
+#include "store/format.h"
+
+#include "store/encoding.h"
+
+namespace harvest::store {
+
+bool is_hlog(std::string_view bytes) {
+  return bytes.size() >= 4 && get_u32(bytes.data()) == kFileMagic;
+}
+
+}  // namespace harvest::store

@@ -1,0 +1,114 @@
+// HLOG v1 — the on-disk binary columnar format for harvested decision
+// records. Text logs are the ingestion wire format; HLOG is the *storage*
+// format that makes re-scanning the same corpus near-zero-copy instead of
+// re-parsing key=value text on every run.
+//
+// Layout (all integers little-endian; no padding between sections):
+//
+//   File   := Header Schema Shard* Footer Trailer
+//   Header := magic:u32("HLOG") version:u16 flags:u16
+//             num_actions:u32 context_dim:u32                  (16 bytes)
+//   Schema := bytes:u32 crc32c:u32 payload
+//             payload = decision_event:str ctx_fields:[str]
+//                       action_field:str reward_field:str propensity_field:str
+//                       stale_after_seconds:f64 reward_lo:f64 reward_hi:f64
+//             (str := len:u32 bytes; [str] := count:u32 then strs)
+//   Shard  := Block*           (a contiguous run of blocks; the unit of
+//                               parallel scanning — see footer index)
+//   Block  := magic:u32("HBLK") rows:u32 Column{5}
+//   Column := bytes:u32 crc32c:u32 payload   (order: time, context, action,
+//             reward, propensity; context is row-major rows*dim values)
+//   Footer := shard_count:u32 ShardIndex{shard_count} Counts
+//   ShardIndex := offset:u64 first_row:u64 rows:u64 blocks:u32 bytes:u32
+//   Counts := records_seen:u64 decisions_seen:u64 dropped_missing:u64
+//             dropped_bad_action:u64 dropped_bad_propensity:u64
+//             dropped_stale:u64 rows:u64
+//   Trailer:= footer_bytes:u32 footer_crc32c:u32 magic:u32("GOLH")
+//             (fixed 12 bytes at EOF so the footer is locatable backwards)
+//
+// Column encodings (exact — every f64 bit pattern round-trips, including
+// negative zero and NaN payloads, so a scan is byte-identical to the record
+// sequence the writer saw):
+//   f64 columns   : LEB128 varint of bits(v[i]) XOR bits(v[i-1]) (prev=0).
+//                   Constant columns (propensity 1.0 placeholders) collapse
+//                   to one byte per row; slowly varying timestamps share
+//                   exponent/high-mantissa bits and stay short.
+//   action column : LEB128 varint of zigzag(i64(v[i]) - i64(v[i-1])).
+//
+// Integrity: every column payload carries its own CRC32C; a mismatch
+// quarantines the enclosing *block* (its rows are dropped and ledgered as
+// QuarantineClass::kCorruptBlock) while the rest of the shard is still
+// read. Header/schema/footer corruption is fatal (without the footer index
+// the blocks cannot be located) and throws on open.
+//
+// Versioning rules: the major version in the header is bumped on any layout
+// or encoding change; readers reject versions they do not know. New columns
+// may only be appended (readers skip unknown trailing columns by their
+// length prefix — the per-column bytes field exists for exactly this).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace harvest::store {
+
+inline constexpr std::uint32_t kFileMagic = 0x474F4C48;    // "HLOG"
+inline constexpr std::uint32_t kBlockMagic = 0x4B4C4248;   // "HBLK"
+inline constexpr std::uint32_t kTrailerMagic = 0x484C4F47; // "GOLH"
+inline constexpr std::uint16_t kFormatVersion = 1;
+
+inline constexpr std::size_t kHeaderBytes = 16;
+inline constexpr std::size_t kTrailerBytes = 12;
+inline constexpr std::size_t kNumColumns = 5;
+inline constexpr std::size_t kShardIndexBytes = 32;
+inline constexpr std::size_t kCountsBytes = 56;
+
+/// The declarative scavenge schema the corpus was compacted under. A reader
+/// must be scanned with a matching ScavengeSpec — HLOG stores raw (pre-
+/// transform) values for exactly these fields, so scavenging it with a
+/// different field mapping would silently answer a different question.
+struct Schema {
+  std::string decision_event;
+  std::vector<std::string> context_fields;
+  std::string action_field;
+  std::string reward_field;
+  std::string propensity_field;  ///< empty = placeholder propensity 1.0
+  double stale_after_seconds = 0;
+  double reward_lo = 0;
+  double reward_hi = 1;
+  std::uint32_t num_actions = 0;
+
+  bool operator==(const Schema&) const = default;
+};
+
+/// Compaction-time ingestion ledger, persisted in the footer so scavenging
+/// an HLOG file reconciles exactly like scavenging the text it came from:
+/// decisions_seen == rows + Σ dropped_*.
+struct Counts {
+  std::uint64_t records_seen = 0;
+  std::uint64_t decisions_seen = 0;
+  std::uint64_t dropped_missing_fields = 0;
+  std::uint64_t dropped_bad_action = 0;
+  std::uint64_t dropped_bad_propensity = 0;
+  std::uint64_t dropped_stale_timestamp = 0;
+  std::uint64_t rows = 0;
+};
+
+/// One footer index entry: where a shard's blocks live and which absolute
+/// row range they decode into. first_row/rows let the reader pre-size its
+/// output and scan shards in parallel into disjoint slots.
+struct ShardIndexEntry {
+  std::uint64_t offset = 0;     ///< file offset of the shard's first block
+  std::uint64_t first_row = 0;
+  std::uint64_t rows = 0;
+  std::uint32_t blocks = 0;
+  std::uint32_t bytes = 0;      ///< total encoded bytes of the shard
+};
+
+/// Format autodetection: true when `bytes` begins with the HLOG file magic
+/// (the cheap check consumers use to route a corpus to the right reader).
+bool is_hlog(std::string_view bytes);
+
+}  // namespace harvest::store

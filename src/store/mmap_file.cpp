@@ -1,0 +1,76 @@
+#include "store/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace harvest::store {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error("MappedFile: " + what + " '" + path +
+                           "': " + std::strerror(errno));
+}
+
+obs::Gauge& bytes_mapped_gauge() {
+  return obs::Registry::global().gauge("store_bytes_mapped");
+}
+
+}  // namespace
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+    bytes_mapped_gauge().set(bytes_mapped_gauge().value() -
+                             static_cast<double>(size_));
+  }
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    MappedFile tmp(std::move(other));
+    std::swap(data_, tmp.data_);
+    std::swap(size_, tmp.size_);
+  }
+  return *this;
+}
+
+MappedFile MappedFile::open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) fail("cannot open", path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    fail("cannot stat", path);
+  }
+  MappedFile file;
+  file.size_ = static_cast<std::size_t>(st.st_size);
+  if (file.size_ > 0) {
+    void* addr = ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      ::close(fd);
+      file.size_ = 0;
+      fail("cannot mmap", path);
+    }
+    file.data_ = static_cast<const char*>(addr);
+    bytes_mapped_gauge().set(bytes_mapped_gauge().value() +
+                             static_cast<double>(file.size_));
+  }
+  ::close(fd);  // the mapping outlives the descriptor
+  return file;
+}
+
+}  // namespace harvest::store

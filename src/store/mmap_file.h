@@ -1,0 +1,37 @@
+// Read-only memory-mapped file. The HLOG reader maps shards straight from
+// the page cache instead of copying them through a stream — re-scanning a
+// warm corpus touches no syscalls beyond the initial mmap. Move-only RAII;
+// the mapping (and the `store_bytes_mapped` gauge) is released on destroy.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace harvest::store {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps `path` read-only. Throws std::runtime_error (with errno text) if
+  /// the file cannot be opened, stat'd, or mapped. Empty files map to an
+  /// empty view without an actual mmap.
+  static MappedFile open(const std::string& path);
+
+  std::string_view view() const { return {data_, size_}; }
+  std::size_t size() const { return size_; }
+  bool mapped() const { return data_ != nullptr; }
+
+ private:
+  const char* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace harvest::store

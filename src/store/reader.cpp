@@ -1,0 +1,333 @@
+#include "store/reader.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "store/crc32c.h"
+#include "store/encoding.h"
+
+namespace harvest::store {
+
+namespace {
+
+[[noreturn]] void corrupt(const std::string& origin, const std::string& what) {
+  throw std::runtime_error("hlog: " + origin + ": " + what);
+}
+
+/// A maximal run of contiguous healthy rows within a shard (absolute row
+/// coordinates). The compaction pass squeezes quarantine gaps out by moving
+/// these in order.
+struct Segment {
+  std::uint64_t start = 0;
+  std::uint64_t rows = 0;
+};
+
+/// Per-shard scan scratch, written only by the task that owns the shard.
+struct ShardScan {
+  std::vector<Segment> segments;
+  std::vector<QuarantinedBlock> quarantined;
+  std::size_t blocks_read = 0;
+};
+
+const char* kColumnNames[kNumColumns] = {"time", "context", "action",
+                                         "reward", "propensity"};
+
+}  // namespace
+
+Reader Reader::open(const std::string& path) {
+  obs::ScopedSpan span("store.open");
+  Reader reader;
+  reader.map_ = MappedFile::open(path);
+  reader.data_ = reader.map_.view();
+  reader.parse(path);
+  return reader;
+}
+
+Reader Reader::from_memory(std::string bytes) {
+  obs::ScopedSpan span("store.open");
+  Reader reader;
+  reader.owned_ = std::move(bytes);
+  reader.data_ = reader.owned_;
+  reader.parse("<memory>");
+  return reader;
+}
+
+std::size_t Reader::num_blocks() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard.blocks;
+  return total;
+}
+
+void Reader::parse(const std::string& origin) {
+  if (data_.size() < kHeaderBytes + 8 + kTrailerBytes) {
+    corrupt(origin, "file too small to be HLOG");
+  }
+  if (get_u32(data_.data()) != kFileMagic) corrupt(origin, "bad file magic");
+  const std::uint16_t version = get_u16(data_.data() + 4);
+  if (version != kFormatVersion) {
+    corrupt(origin, "unsupported format version " + std::to_string(version));
+  }
+  const std::uint32_t num_actions = get_u32(data_.data() + 8);
+  const std::uint32_t context_dim = get_u32(data_.data() + 12);
+
+  // Schema section (CRC-guarded: a corrupt schema would mis-map every
+  // column downstream, so it is fatal).
+  const std::uint32_t schema_bytes = get_u32(data_.data() + kHeaderBytes);
+  const std::uint32_t schema_crc = get_u32(data_.data() + kHeaderBytes + 4);
+  const std::size_t schema_start = kHeaderBytes + 8;
+  if (schema_start + schema_bytes + kTrailerBytes > data_.size()) {
+    corrupt(origin, "schema section overruns file");
+  }
+  const std::string_view schema_payload =
+      data_.substr(schema_start, schema_bytes);
+  if (crc32c(schema_payload) != schema_crc) {
+    corrupt(origin, "schema CRC mismatch");
+  }
+  std::size_t pos = 0;
+  std::uint32_t ctx_count = 0;
+  bool ok = get_str(schema_payload, &pos, &schema_.decision_event);
+  if (ok && pos + 4 <= schema_payload.size()) {
+    ctx_count = get_u32(schema_payload.data() + pos);
+    pos += 4;
+  } else {
+    ok = false;
+  }
+  for (std::uint32_t i = 0; ok && i < ctx_count; ++i) {
+    schema_.context_fields.emplace_back();
+    ok = get_str(schema_payload, &pos, &schema_.context_fields.back());
+  }
+  ok = ok && get_str(schema_payload, &pos, &schema_.action_field) &&
+       get_str(schema_payload, &pos, &schema_.reward_field) &&
+       get_str(schema_payload, &pos, &schema_.propensity_field) &&
+       pos + 24 == schema_payload.size();
+  if (!ok) corrupt(origin, "malformed schema payload");
+  schema_.stale_after_seconds = get_f64(schema_payload.data() + pos);
+  schema_.reward_lo = get_f64(schema_payload.data() + pos + 8);
+  schema_.reward_hi = get_f64(schema_payload.data() + pos + 16);
+  schema_.num_actions = num_actions;
+  if (schema_.context_fields.size() != context_dim) {
+    corrupt(origin, "header/schema context arity disagree");
+  }
+
+  // Footer, located backwards from the fixed-size trailer.
+  const std::size_t trailer_at = data_.size() - kTrailerBytes;
+  if (get_u32(data_.data() + trailer_at + 8) != kTrailerMagic) {
+    corrupt(origin, "bad trailer magic");
+  }
+  const std::uint32_t footer_bytes = get_u32(data_.data() + trailer_at);
+  const std::uint32_t footer_crc = get_u32(data_.data() + trailer_at + 4);
+  const std::size_t blocks_start = schema_start + schema_bytes;
+  if (footer_bytes > trailer_at || trailer_at - footer_bytes < blocks_start) {
+    corrupt(origin, "footer overruns file");
+  }
+  const std::size_t footer_at = trailer_at - footer_bytes;
+  const std::string_view footer = data_.substr(footer_at, footer_bytes);
+  if (crc32c(footer) != footer_crc) corrupt(origin, "footer CRC mismatch");
+
+  if (footer.size() < 4) corrupt(origin, "footer truncated");
+  const std::uint32_t shard_count = get_u32(footer.data());
+  if (footer.size() != 4 + shard_count * kShardIndexBytes + kCountsBytes) {
+    corrupt(origin, "footer size disagrees with shard count");
+  }
+  std::uint64_t expect_row = 0;
+  std::uint64_t expect_offset = blocks_start;
+  for (std::uint32_t s = 0; s < shard_count; ++s) {
+    const char* p = footer.data() + 4 + s * kShardIndexBytes;
+    ShardIndexEntry entry;
+    entry.offset = get_u64(p);
+    entry.first_row = get_u64(p + 8);
+    entry.rows = get_u64(p + 16);
+    entry.blocks = get_u32(p + 24);
+    entry.bytes = get_u32(p + 28);
+    if (entry.offset != expect_offset || entry.first_row != expect_row ||
+        entry.offset + entry.bytes > footer_at) {
+      corrupt(origin, "shard index entry " + std::to_string(s) +
+                          " inconsistent");
+    }
+    expect_offset = entry.offset + entry.bytes;
+    expect_row += entry.rows;
+    shards_.push_back(entry);
+  }
+  if (expect_offset != footer_at) {
+    corrupt(origin, "shard index does not cover the block region");
+  }
+  const char* c = footer.data() + 4 + shard_count * kShardIndexBytes;
+  counts_.records_seen = get_u64(c);
+  counts_.decisions_seen = get_u64(c + 8);
+  counts_.dropped_missing_fields = get_u64(c + 16);
+  counts_.dropped_bad_action = get_u64(c + 24);
+  counts_.dropped_bad_propensity = get_u64(c + 32);
+  counts_.dropped_stale_timestamp = get_u64(c + 40);
+  counts_.rows = get_u64(c + 48);
+  if (counts_.rows != expect_row) {
+    corrupt(origin, "footer row count disagrees with shard index");
+  }
+}
+
+ScanResult Reader::scan(par::ThreadPool* pool) const {
+  obs::ScopedSpan span("store.scan");
+  const auto scan_start = std::chrono::steady_clock::now();
+  const std::size_t dim = schema_.context_fields.size();
+  const auto total_rows = static_cast<std::size_t>(counts_.rows);
+
+  ScanResult result;
+  result.context_dim = dim;
+  result.time.resize(total_rows);
+  result.context.resize(total_rows * dim);
+  result.action.resize(total_rows);
+  result.reward.resize(total_rows);
+  result.propensity.resize(total_rows);
+
+  // First-block index of every shard so quarantine reports carry
+  // file-global block numbers.
+  std::vector<std::size_t> block_base(shards_.size() + 1, 0);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    block_base[s + 1] = block_base[s] + shards_[s].blocks;
+  }
+
+  std::vector<ShardScan> scans(shards_.size());
+  par::parallel_for(
+      pool, par::ShardPlan::per_item(shards_.size()),
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t s = begin; s < end; ++s) {
+          const ShardIndexEntry& shard = shards_[s];
+          ShardScan& scan = scans[s];
+          const std::uint64_t shard_end_row = shard.first_row + shard.rows;
+          std::size_t pos = shard.offset;
+          const std::size_t shard_end = shard.offset + shard.bytes;
+          std::uint64_t row = shard.first_row;
+          const auto quarantine_rest = [&](const std::string& reason,
+                                           std::size_t block) {
+            if (shard_end_row > row) {
+              scan.quarantined.push_back(
+                  {s, block_base[s] + block, shard_end_row - row, reason});
+            }
+          };
+          for (std::uint32_t b = 0; b < shard.blocks; ++b) {
+            // Framing: magic + row count, then 5 (len, crc) column headers.
+            if (pos + 8 > shard_end ||
+                get_u32(data_.data() + pos) != kBlockMagic) {
+              quarantine_rest("bad_block_header", b);
+              break;
+            }
+            const std::uint32_t rows = get_u32(data_.data() + pos + 4);
+            if (row + rows > shard_end_row) {
+              quarantine_rest("bad_block_header", b);
+              break;
+            }
+            std::size_t cursor = pos + 8;
+            std::string_view payload[kNumColumns];
+            std::uint32_t crc[kNumColumns];
+            bool framed = true;
+            for (std::size_t col = 0; col < kNumColumns; ++col) {
+              if (cursor + 8 > shard_end) {
+                framed = false;
+                break;
+              }
+              const std::uint32_t bytes = get_u32(data_.data() + cursor);
+              crc[col] = get_u32(data_.data() + cursor + 4);
+              cursor += 8;
+              if (bytes > shard_end - cursor) {
+                framed = false;
+                break;
+              }
+              payload[col] = data_.substr(cursor, bytes);
+              cursor += bytes;
+            }
+            if (!framed) {
+              // A corrupted length field: the next block cannot be located,
+              // so the rest of this shard is lost (the documented cost of
+              // header-level corruption).
+              quarantine_rest("bad_block_header", b);
+              break;
+            }
+            // Integrity, then decode into this block's pre-assigned rows.
+            bool good = true;
+            std::string bad_reason;
+            for (std::size_t col = 0; col < kNumColumns && good; ++col) {
+              if (crc32c(payload[col]) != crc[col]) {
+                good = false;
+                bad_reason = std::string("crc_mismatch:") + kColumnNames[col];
+              }
+            }
+            if (good) {
+              const auto at = static_cast<std::size_t>(row);
+              good = decode_f64_column_into(payload[0], rows,
+                                            result.time.data() + at) &&
+                     decode_f64_column_into(payload[1], rows * dim,
+                                            result.context.data() + at * dim) &&
+                     decode_u32_column_into(payload[2], rows,
+                                            result.action.data() + at) &&
+                     decode_f64_column_into(payload[3], rows,
+                                            result.reward.data() + at) &&
+                     decode_f64_column_into(payload[4], rows,
+                                            result.propensity.data() + at);
+              if (!good) bad_reason = "decode_error";
+            }
+            if (good) {
+              ++scan.blocks_read;
+              if (!scan.segments.empty() &&
+                  scan.segments.back().start + scan.segments.back().rows ==
+                      row) {
+                scan.segments.back().rows += rows;
+              } else {
+                scan.segments.push_back({row, rows});
+              }
+            } else {
+              scan.quarantined.push_back(
+                  {s, block_base[s] + b, rows, bad_reason});
+            }
+            row += rows;
+            pos = cursor;
+          }
+        }
+      });
+
+  // Merge per-shard results in shard order (deterministic for any pool),
+  // compacting quarantine gaps with in-place moves.
+  std::size_t write = 0;
+  for (const auto& scan : scans) {
+    result.blocks_read += scan.blocks_read;
+    for (const auto& q : scan.quarantined) result.quarantined.push_back(q);
+    for (const auto& seg : scan.segments) {
+      const auto start = static_cast<std::size_t>(seg.start);
+      const auto n = static_cast<std::size_t>(seg.rows);
+      if (start != write) {
+        std::copy_n(result.time.begin() + start, n,
+                    result.time.begin() + write);
+        std::copy_n(result.context.begin() + start * dim, n * dim,
+                    result.context.begin() + write * dim);
+        std::copy_n(result.action.begin() + start, n,
+                    result.action.begin() + write);
+        std::copy_n(result.reward.begin() + start, n,
+                    result.reward.begin() + write);
+        std::copy_n(result.propensity.begin() + start, n,
+                    result.propensity.begin() + write);
+      }
+      write += n;
+    }
+  }
+  result.time.resize(write);
+  result.context.resize(write * dim);
+  result.action.resize(write);
+  result.reward.resize(write);
+  result.propensity.resize(write);
+
+  obs::Registry& registry = obs::Registry::global();
+  registry.counter("store_blocks_read_total")
+      .add(static_cast<double>(result.blocks_read));
+  registry.counter("store_blocks_quarantined_total")
+      .add(static_cast<double>(result.quarantined.size()));
+  registry.counter("store_rows_scanned_total")
+      .add(static_cast<double>(write));
+  registry.histogram("store_scan_ms")
+      .observe(std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - scan_start)
+                   .count());
+  return result;
+}
+
+}  // namespace harvest::store

@@ -1,0 +1,94 @@
+// HLOG reader: maps a compacted corpus and scans its column blocks in
+// parallel. The scan is byte-identical for any thread count — shards decode
+// into pre-assigned row slots of one output buffer (the footer index gives
+// every shard its absolute row range), and quarantine gaps are compacted in
+// shard order afterwards.
+//
+// Corruption policy: every column payload is CRC32C-verified before decode.
+// A mismatch drops the enclosing block only — its rows are reported in
+// `ScanResult::quarantined` and the rest of the shard is still read. A
+// corrupted block *header* (unlocatable framing) costs the remainder of
+// that one shard. Header, schema, or footer corruption is fatal at open:
+// without the trusted footer index nothing can be located, so the reader
+// refuses the file instead of guessing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "par/parallel.h"
+#include "store/format.h"
+#include "store/mmap_file.h"
+
+namespace harvest::store {
+
+/// One block the scan refused to decode, with its row cost. `block` is the
+/// file-global block index (corruption tooling addresses blocks the same
+/// way, so reports line up).
+struct QuarantinedBlock {
+  std::size_t shard = 0;
+  std::size_t block = 0;
+  std::uint64_t rows = 0;
+  std::string reason;  ///< "crc_mismatch:<column>" | "bad_block_header" | ...
+};
+
+/// Decoded columns of every healthy block, in writer order. Quarantine gaps
+/// are already compacted away: row i of every column is the same decision.
+struct ScanResult {
+  std::vector<double> time;
+  std::vector<double> context;  ///< row-major, rows() * context_dim
+  std::vector<std::uint32_t> action;
+  std::vector<double> reward;
+  std::vector<double> propensity;
+  std::size_t context_dim = 0;
+  std::size_t blocks_read = 0;  ///< blocks that decoded cleanly
+  std::vector<QuarantinedBlock> quarantined;
+
+  std::size_t rows() const { return time.size(); }
+  std::uint64_t rows_quarantined() const {
+    std::uint64_t total = 0;
+    for (const auto& q : quarantined) total += q.rows;
+    return total;
+  }
+};
+
+class Reader {
+ public:
+  /// mmaps `path` and validates header, schema, and footer (CRC-checked).
+  /// Throws std::runtime_error on anything unreadable.
+  static Reader open(const std::string& path);
+
+  /// Takes ownership of an in-memory HLOG image (tests, benches, and the
+  /// autodetection path that already slurped the file).
+  static Reader from_memory(std::string bytes);
+
+  const Schema& schema() const { return schema_; }
+  const Counts& counts() const { return counts_; }
+  const std::vector<ShardIndexEntry>& shards() const { return shards_; }
+  std::size_t num_blocks() const;
+  std::uint64_t rows() const { return counts_.rows; }
+  std::size_t file_bytes() const { return data_.size(); }
+  /// True when backed by an mmap (vs an owned in-memory buffer).
+  bool mapped() const { return map_.mapped(); }
+
+  /// Decodes every shard (in parallel when `pool` has workers) and returns
+  /// the surviving columns. Exports store_blocks_read_total,
+  /// store_blocks_quarantined_total, store_rows_scanned_total and the
+  /// store_scan_ms histogram, under one "store.scan" span.
+  ScanResult scan(par::ThreadPool* pool = par::default_pool()) const;
+
+ private:
+  Reader() = default;
+  void parse(const std::string& origin);
+
+  MappedFile map_;
+  std::string owned_;
+  std::string_view data_;
+  Schema schema_;
+  Counts counts_;
+  std::vector<ShardIndexEntry> shards_;
+};
+
+}  // namespace harvest::store

@@ -1,0 +1,169 @@
+#include "store/writer.h"
+
+#include <stdexcept>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "store/crc32c.h"
+#include "store/encoding.h"
+
+namespace harvest::store {
+
+std::string encode_schema(const Schema& schema) {
+  std::string out;
+  put_str(out, schema.decision_event);
+  put_u32(out, static_cast<std::uint32_t>(schema.context_fields.size()));
+  for (const auto& field : schema.context_fields) put_str(out, field);
+  put_str(out, schema.action_field);
+  put_str(out, schema.reward_field);
+  put_str(out, schema.propensity_field);
+  put_f64(out, schema.stale_after_seconds);
+  put_f64(out, schema.reward_lo);
+  put_f64(out, schema.reward_hi);
+  return out;
+}
+
+Writer::Writer(std::ostream& out, Schema schema, WriterOptions options)
+    : out_(out), schema_(std::move(schema)), options_(options) {
+  if (schema_.decision_event.empty()) {
+    throw std::invalid_argument("store::Writer: decision_event required");
+  }
+  if (schema_.num_actions == 0) {
+    throw std::invalid_argument("store::Writer: num_actions required");
+  }
+  if (options_.rows_per_block == 0 || options_.blocks_per_shard == 0) {
+    throw std::invalid_argument(
+        "store::Writer: rows_per_block and blocks_per_shard must be positive");
+  }
+
+  std::string head;
+  put_u32(head, kFileMagic);
+  put_u16(head, kFormatVersion);
+  put_u16(head, 0);  // flags
+  put_u32(head, schema_.num_actions);
+  put_u32(head, static_cast<std::uint32_t>(schema_.context_fields.size()));
+  const std::string payload = encode_schema(schema_);
+  put_u32(head, static_cast<std::uint32_t>(payload.size()));
+  put_u32(head, crc32c(payload));
+  head += payload;
+  out_.write(head.data(), static_cast<std::streamsize>(head.size()));
+  offset_ = head.size();
+  shard_offset_ = offset_;
+}
+
+Writer::~Writer() {
+  try {
+    finish();
+  } catch (...) {
+    // Destructors must not throw; an explicit finish() surfaces errors.
+  }
+}
+
+void Writer::add(double time, std::span<const double> context,
+                 std::uint32_t action, double reward, double propensity) {
+  if (finished_) {
+    throw std::logic_error("store::Writer: add() after finish()");
+  }
+  if (context.size() != schema_.context_fields.size()) {
+    throw std::invalid_argument(
+        "store::Writer: context arity mismatch: got " +
+        std::to_string(context.size()) + ", schema has " +
+        std::to_string(schema_.context_fields.size()));
+  }
+  time_.push_back(time);
+  context_.insert(context_.end(), context.begin(), context.end());
+  action_.push_back(action);
+  reward_.push_back(reward);
+  propensity_.push_back(propensity);
+  ++rows_written_;
+  if (time_.size() >= options_.rows_per_block) flush_block();
+}
+
+void Writer::flush_block() {
+  if (time_.empty()) return;
+  obs::ScopedSpan span("store.write_block");
+  const auto rows = static_cast<std::uint32_t>(time_.size());
+
+  std::string block;
+  put_u32(block, kBlockMagic);
+  put_u32(block, rows);
+  const auto column = [&](auto encode) {
+    scratch_.clear();
+    encode(scratch_);
+    put_u32(block, static_cast<std::uint32_t>(scratch_.size()));
+    put_u32(block, crc32c(scratch_));
+    block += scratch_;
+  };
+  column([&](std::string& out) { encode_f64_column(time_, out); });
+  column([&](std::string& out) { encode_f64_column(context_, out); });
+  column([&](std::string& out) { encode_u32_column(action_, out); });
+  column([&](std::string& out) { encode_f64_column(reward_, out); });
+  column([&](std::string& out) { encode_f64_column(propensity_, out); });
+
+  out_.write(block.data(), static_cast<std::streamsize>(block.size()));
+  offset_ += block.size();
+  shard_rows_ += rows;
+  ++shard_blocks_;
+  obs::Registry::global().counter("store_blocks_written_total").add(1.0);
+
+  time_.clear();
+  context_.clear();
+  action_.clear();
+  reward_.clear();
+  propensity_.clear();
+
+  if (shard_blocks_ >= options_.blocks_per_shard) close_shard();
+}
+
+void Writer::close_shard() {
+  if (shard_blocks_ == 0) return;
+  ShardIndexEntry entry;
+  entry.offset = shard_offset_;
+  entry.first_row = shard_first_row_;
+  entry.rows = shard_rows_;
+  entry.blocks = shard_blocks_;
+  entry.bytes = static_cast<std::uint32_t>(offset_ - shard_offset_);
+  shards_.push_back(entry);
+  shard_offset_ = offset_;
+  shard_first_row_ += shard_rows_;
+  shard_rows_ = 0;
+  shard_blocks_ = 0;
+}
+
+void Writer::finish() {
+  if (finished_) return;
+  flush_block();
+  close_shard();
+  finished_ = true;
+
+  counts_.rows = rows_written_;
+  std::string footer;
+  put_u32(footer, static_cast<std::uint32_t>(shards_.size()));
+  for (const auto& shard : shards_) {
+    put_u64(footer, shard.offset);
+    put_u64(footer, shard.first_row);
+    put_u64(footer, shard.rows);
+    put_u32(footer, shard.blocks);
+    put_u32(footer, shard.bytes);
+  }
+  put_u64(footer, counts_.records_seen);
+  put_u64(footer, counts_.decisions_seen);
+  put_u64(footer, counts_.dropped_missing_fields);
+  put_u64(footer, counts_.dropped_bad_action);
+  put_u64(footer, counts_.dropped_bad_propensity);
+  put_u64(footer, counts_.dropped_stale_timestamp);
+  put_u64(footer, counts_.rows);
+
+  std::string trailer;
+  put_u32(trailer, static_cast<std::uint32_t>(footer.size()));
+  put_u32(trailer, crc32c(footer));
+  put_u32(trailer, kTrailerMagic);
+  out_.write(footer.data(), static_cast<std::streamsize>(footer.size()));
+  out_.write(trailer.data(), static_cast<std::streamsize>(trailer.size()));
+  out_.flush();
+  if (!out_) {
+    throw std::runtime_error("store::Writer: stream write failed");
+  }
+}
+
+}  // namespace harvest::store

@@ -1,0 +1,88 @@
+// Streaming HLOG writer. Buffers at most one block of rows (bounded memory
+// regardless of corpus size), encodes columns on block boundaries, and
+// closes the file with the footer index + compaction ledger. Output is a
+// pure function of (schema, options, row sequence, counts) — no wall-clock
+// timestamps or randomness ever reach the file, so compacting the same text
+// corpus twice yields byte-identical HLOG.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "store/format.h"
+
+namespace harvest::store {
+
+/// Block/shard geometry. Blocks are the unit of CRC protection and
+/// corruption quarantine; shards (runs of blocks) are the unit of parallel
+/// scanning. The defaults keep blocks big enough that varint decode
+/// amortizes and shards numerous enough that mid-size corpora still fan out.
+struct WriterOptions {
+  std::size_t rows_per_block = 4096;
+  std::size_t blocks_per_shard = 8;
+};
+
+class Writer {
+ public:
+  /// Writes the header + schema section immediately. Throws
+  /// std::invalid_argument on a malformed schema (no decision event, zero
+  /// actions) or zero block/shard geometry.
+  Writer(std::ostream& out, Schema schema, WriterOptions options = {});
+
+  /// Appends one decision row. `context.size()` must equal the schema's
+  /// context arity. Values are stored bit-exactly (pre-transform raw
+  /// reward, validated propensity — 1.0 placeholder when the schema has no
+  /// propensity field).
+  void add(double time, std::span<const double> context, std::uint32_t action,
+           double reward, double propensity);
+
+  /// Records the compaction ledger persisted in the footer. Call any time
+  /// before finish(); rows is filled in automatically.
+  void set_counts(const Counts& counts) { counts_ = counts; }
+
+  /// Flushes the open block and writes footer + trailer. Idempotent; the
+  /// destructor calls it, but calling explicitly surfaces stream errors.
+  void finish();
+
+  ~Writer();
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  std::uint64_t rows_written() const { return rows_written_; }
+  const Schema& schema() const { return schema_; }
+
+ private:
+  void flush_block();
+  void close_shard();
+
+  std::ostream& out_;
+  Schema schema_;
+  WriterOptions options_;
+  Counts counts_;
+
+  // Current block's column buffers (bounded by rows_per_block).
+  std::vector<double> time_;
+  std::vector<double> context_;  // row-major rows*dim
+  std::vector<std::uint32_t> action_;
+  std::vector<double> reward_;
+  std::vector<double> propensity_;
+
+  std::vector<ShardIndexEntry> shards_;
+  std::uint64_t offset_ = 0;        ///< bytes written so far
+  std::uint64_t shard_offset_ = 0;  ///< offset of the open shard's first block
+  std::uint64_t shard_first_row_ = 0;
+  std::uint64_t shard_rows_ = 0;
+  std::uint32_t shard_blocks_ = 0;
+  std::uint64_t rows_written_ = 0;
+  bool finished_ = false;
+  std::string scratch_;  ///< reused encode buffer
+};
+
+/// Serializes the schema payload (shared by Writer and the reader's
+/// verifier/tests).
+std::string encode_schema(const Schema& schema);
+
+}  // namespace harvest::store

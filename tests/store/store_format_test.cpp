@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "store/crc32c.h"
+#include "store/encoding.h"
+#include "store/format.h"
+
+namespace harvest::store {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 / Castagnoli check value.
+  EXPECT_EQ(crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(crc32c(""), 0u);
+  // 32 zero bytes — the iSCSI test vector.
+  EXPECT_EQ(crc32c(std::string(32, '\0')), 0x8A9136AAu);
+}
+
+TEST(Crc32cTest, SeedChainsIncrementalComputation) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const std::uint32_t whole = crc32c(data);
+  for (std::size_t split : {std::size_t{1}, std::size_t{7}, data.size() - 1}) {
+    const std::uint32_t first = crc32c(data.substr(0, split));
+    EXPECT_EQ(crc32c(data.substr(split), first), whole) << "split " << split;
+  }
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlip) {
+  std::string data(64, 'x');
+  const std::uint32_t clean = crc32c(data);
+  for (std::size_t byte : {std::size_t{0}, std::size_t{31}, data.size() - 1}) {
+    std::string bad = data;
+    bad[byte] = static_cast<char>(bad[byte] ^ 0x01);
+    EXPECT_NE(crc32c(bad), clean);
+  }
+}
+
+TEST(EncodingTest, FixedWidthRoundTrip) {
+  std::string buf;
+  put_u16(buf, 0xBEEF);
+  put_u32(buf, 0xDEADBEEFu);
+  put_u64(buf, 0x0123456789ABCDEFull);
+  put_f64(buf, -0.0);
+  ASSERT_EQ(buf.size(), 2u + 4u + 8u + 8u);
+  EXPECT_EQ(get_u16(buf.data()), 0xBEEF);
+  EXPECT_EQ(get_u32(buf.data() + 2), 0xDEADBEEFu);
+  EXPECT_EQ(get_u64(buf.data() + 6), 0x0123456789ABCDEFull);
+  EXPECT_EQ(std::signbit(get_f64(buf.data() + 14)), true);
+  // The wire layout is little-endian regardless of host order.
+  EXPECT_EQ(buf[0], '\xEF');
+  EXPECT_EQ(buf[1], '\xBE');
+}
+
+TEST(EncodingTest, VarintRoundTripAndEdges) {
+  const std::uint64_t cases[] = {0,
+                                 1,
+                                 127,
+                                 128,
+                                 300,
+                                 16383,
+                                 16384,
+                                 (1ull << 32) - 1,
+                                 1ull << 32,
+                                 std::numeric_limits<std::uint64_t>::max()};
+  for (const std::uint64_t v : cases) {
+    std::string buf;
+    put_varint(buf, v);
+    EXPECT_LE(buf.size(), 10u);
+    std::size_t pos = 0;
+    std::uint64_t back = 0;
+    ASSERT_TRUE(get_varint(buf, &pos, &back)) << v;
+    EXPECT_EQ(back, v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(EncodingTest, VarintRejectsTruncation) {
+  std::string buf;
+  put_varint(buf, std::numeric_limits<std::uint64_t>::max());
+  buf.pop_back();  // drop the terminating byte
+  std::size_t pos = 0;
+  std::uint64_t out = 0;
+  EXPECT_FALSE(get_varint(buf, &pos, &out));
+}
+
+TEST(EncodingTest, ZigzagRoundTrip) {
+  const std::int64_t cases[] = {0, -1, 1, -2, 2,
+                                std::numeric_limits<std::int64_t>::min(),
+                                std::numeric_limits<std::int64_t>::max()};
+  for (const std::int64_t v : cases) {
+    EXPECT_EQ(unzigzag(zigzag(v)), v);
+  }
+  // Small magnitudes map to small codes (the property the action column
+  // relies on for one-byte deltas).
+  EXPECT_EQ(zigzag(0), 0u);
+  EXPECT_EQ(zigzag(-1), 1u);
+  EXPECT_EQ(zigzag(1), 2u);
+}
+
+TEST(EncodingTest, F64ColumnRoundTripsEveryBitPattern) {
+  const std::vector<double> values = {
+      0.0,
+      -0.0,
+      1.0,
+      -1.0,
+      1e-300,
+      -1e300,
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::quiet_NaN(),
+      std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::max(),
+      4.9406564584124654e-324};
+  std::string buf;
+  encode_f64_column(values, buf);
+  std::vector<double> back;
+  ASSERT_TRUE(decode_f64_column(buf, values.size(), back));
+  ASSERT_EQ(back.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(back[i]),
+              std::bit_cast<std::uint64_t>(values[i]))
+        << "index " << i;
+  }
+}
+
+TEST(EncodingTest, ConstantF64ColumnIsOneBytePerRowAfterFirst) {
+  const std::vector<double> values(1000, 1.0);
+  std::string buf;
+  encode_f64_column(values, buf);
+  // First row carries bits(1.0); every later XOR-delta is 0 → one byte.
+  EXPECT_LE(buf.size(), 999u + 10u);
+}
+
+TEST(EncodingTest, F64ColumnRejectsTruncationAndTrailingGarbage) {
+  const std::vector<double> values = {3.14, 2.71, 1.41};
+  std::string buf;
+  encode_f64_column(values, buf);
+  std::vector<double> out;
+  std::string truncated = buf.substr(0, buf.size() - 1);
+  EXPECT_FALSE(decode_f64_column(truncated, values.size(), out));
+  out.clear();
+  std::string padded = buf + '\0';
+  EXPECT_FALSE(decode_f64_column(padded, values.size(), out));
+}
+
+TEST(EncodingTest, U32ColumnRoundTripAndBoundsCheck) {
+  const std::vector<std::uint32_t> values = {0, 5, 2, 2, 0xFFFFFFFFu, 0, 7};
+  std::string buf;
+  encode_u32_column(values, buf);
+  std::vector<std::uint32_t> back(values.size());
+  ASSERT_TRUE(decode_u32_column_into(buf, values.size(), back.data()));
+  EXPECT_EQ(back, values);
+
+  // A delta that drives the running value negative must be rejected.
+  std::string bad;
+  put_varint(bad, zigzag(-1));
+  std::uint32_t one = 0;
+  EXPECT_FALSE(decode_u32_column_into(bad, 1, &one));
+}
+
+TEST(FormatTest, MagicDetection) {
+  std::string hlog;
+  put_u32(hlog, kFileMagic);
+  hlog += "rest";
+  EXPECT_TRUE(is_hlog(hlog));
+  EXPECT_FALSE(is_hlog("t=0 ev=decide x=1\n"));
+  EXPECT_FALSE(is_hlog(""));
+  EXPECT_FALSE(is_hlog("HLO"));
+}
+
+TEST(FormatTest, SchemaEquality) {
+  Schema a;
+  a.decision_event = "decide";
+  a.context_fields = {"x", "y"};
+  a.action_field = "a";
+  a.reward_field = "r";
+  a.num_actions = 3;
+  Schema b = a;
+  EXPECT_EQ(a, b);
+  b.reward_hi = 2.0;
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace harvest::store

@@ -1,0 +1,34 @@
+# End-to-end smoke for the HLOG tooling, run as a ctest:
+#   1. generate the demo text corpus,
+#   2. compact it with --verify (text and HLOG scavenges must be
+#      bit-identical, exercised at 2 worker threads),
+#   3. feed the HLOG file to harvest_inspect via format autodetection,
+#   4. corrupt a fraction of blocks and confirm both tools still run,
+#      quarantining instead of failing.
+# Driven by: cmake -DCOMPACT=... -DINSPECT=... -DWORK_DIR=... -P this_file
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(DEMO ${WORK_DIR}/demo.log)
+set(HLOG ${WORK_DIR}/demo.hlog)
+set(BAD ${WORK_DIR}/demo_corrupt.hlog)
+
+function(run)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE code)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "command failed (${code}): ${ARGV}")
+  endif()
+endfunction()
+
+run(${COMPACT} --make-demo ${DEMO} --demo-records 4000)
+run(${COMPACT} ${DEMO} ${HLOG}
+    --event decide --context load --action choice --reward reward
+    --actions 3 --reward-lo=-0.5 --reward-hi 1.5
+    --rows-per-block 256 --blocks-per-shard 4 --threads 2 --verify)
+run(${INSPECT} ${HLOG} --diagnostics)
+
+# Chaos leg: one corrupted block must be quarantined, not fatal.
+run(${COMPACT} ${DEMO} ${BAD}
+    --event decide --context load --action choice --reward reward
+    --actions 3 --reward-lo=-0.5 --reward-hi 1.5
+    --rows-per-block 256 --blocks-per-shard 4
+    --corrupt-blocks 0.25 --corrupt-seed 7)
+run(${INSPECT} ${BAD} --diagnostics)

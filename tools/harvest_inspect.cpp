@@ -1,7 +1,9 @@
-// harvest_inspect — command-line harvesting of a text log file.
+// harvest_inspect — command-line harvesting of a log file (text or HLOG).
 //
-// Point it at any log in the key=value record format and it will:
-//   1. parse the file (reporting torn/malformed lines),
+// Point it at any log in the key=value record format — or a binary HLOG
+// corpus produced by harvest_compact — and it will:
+//   1. parse the file (reporting torn/malformed lines), or mmap-scan the
+//      HLOG blocks (reporting CRC-quarantined ones),
 //   2. scavenge ⟨context, action, reward⟩ tuples per your field spec,
 //   3. infer propensities from the action frequencies (step 2),
 //   4. report the harvested exploration quality: min propensity, Eq. 1
@@ -12,9 +14,15 @@
 // Usage:
 //   harvest_inspect <logfile> --event decide --context x,y --action a
 //                   --reward r --actions 3 [--reward-lo 0 --reward-hi 1]
-//                   [--diagnostics] [--trace spans.jsonl]
-//                   [--inject SPEC] [--inject-seed N]
+//                   [--format auto|text|hlog] [--diagnostics]
+//                   [--trace spans.jsonl] [--inject SPEC] [--inject-seed N]
 //   harvest_inspect --selftest        # generate and process a demo log
+//
+// --format selects the input decoding; `auto` (the default) sniffs the HLOG
+//   magic bytes. HLOG corpora are self-describing, so the field-spec flags
+//   (--event/--context/...) may be omitted — they default to the schema the
+//   corpus was compacted under. --inject is text-only (corrupt HLOG blocks
+//   at compaction time with harvest_compact --corrupt-blocks instead).
 //
 // --diagnostics prints the OPE-health panel: effective sample size,
 //   min propensity, importance-weight tails, and the logging-vs-evaluation
@@ -29,6 +37,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 
 #include "harvest/harvest.h"
@@ -43,9 +52,12 @@ int usage() {
       << "usage: harvest_inspect <logfile> --event EV --context F1,F2,...\n"
          "                       --action FIELD --reward FIELD --actions N\n"
          "                       [--reward-lo X] [--reward-hi Y]\n"
+         "                       [--format auto|text|hlog]\n"
          "                       [--diagnostics] [--trace FILE]\n"
          "                       [--inject SPEC] [--inject-seed N]\n"
-         "       harvest_inspect --selftest [--diagnostics] [--trace FILE]\n";
+         "       harvest_inspect --selftest [--diagnostics] [--trace FILE]\n"
+         "(HLOG inputs are self-describing: the field-spec flags default\n"
+         " to the schema stored in the corpus)\n";
   return 2;
 }
 
@@ -118,13 +130,22 @@ int main(int argc, char** argv) {
   par::set_default_threads(
       static_cast<std::size_t>(flags.get_int("threads", 1)));
 
+  const std::string format_flag = flags.get_string("format", "auto");
+  if (format_flag != "auto" && format_flag != "text" &&
+      format_flag != "hlog") {
+    std::cerr << "bad --format '" << format_flag
+              << "' (want auto, text, or hlog)\n";
+    return 2;
+  }
+
   std::string text;
   logs::ScavengeSpec spec;
   spec.reward_range = {flags.get_double("reward-lo", 0.0),
                        flags.get_double("reward-hi", 1.0)};
   spec.reward_transform = [](double r) { return r; };
 
-  if (flags.get_bool("selftest", false)) {
+  const bool selftest = flags.get_bool("selftest", false);
+  if (selftest) {
     text = make_demo_log();
     spec.decision_event = "decide";
     spec.context_fields = {"load"};
@@ -133,12 +154,8 @@ int main(int argc, char** argv) {
     spec.num_actions = 3;
     spec.reward_range = {-0.5, 1.5};
   } else {
-    if (flags.positional().empty() || !flags.has("event") ||
-        !flags.has("context") || !flags.has("action") ||
-        !flags.has("reward") || !flags.has("actions")) {
-      return usage();
-    }
-    std::ifstream file(flags.positional().front());
+    if (flags.positional().empty()) return usage();
+    std::ifstream file(flags.positional().front(), std::ios::binary);
     if (!file) {
       std::cerr << "cannot open " << flags.positional().front() << "\n";
       return 1;
@@ -146,6 +163,47 @@ int main(int argc, char** argv) {
     std::ostringstream buffer;
     buffer << file.rdbuf();
     text = buffer.str();
+  }
+
+  const bool hlog =
+      !selftest &&
+      (format_flag == "hlog" ||
+       (format_flag == "auto" && store::is_hlog(text)));
+
+  // An HLOG corpus is self-describing, so the field-spec flags default to
+  // its stored schema; a text log has no schema, so they are mandatory.
+  std::optional<store::Reader> reader;
+  if (hlog) {
+    try {
+      reader.emplace(store::Reader::from_memory(std::move(text)));
+    } catch (const std::exception& e) {
+      std::cerr << "cannot read HLOG: " << e.what() << "\n";
+      return 1;
+    }
+    const store::Schema& schema = reader->schema();
+    spec.decision_event = flags.get_string("event", schema.decision_event);
+    if (flags.has("context")) {
+      for (const auto piece :
+           util::split(flags.get_string("context", ""), ',')) {
+        spec.context_fields.emplace_back(util::trim(piece));
+      }
+    } else {
+      spec.context_fields = schema.context_fields;
+    }
+    spec.action_field = flags.get_string("action", schema.action_field);
+    spec.reward_field = flags.get_string("reward", schema.reward_field);
+    spec.propensity_field = schema.propensity_field;
+    spec.num_actions = static_cast<std::size_t>(
+        flags.get_int("actions", schema.num_actions));
+    spec.stale_after_seconds = schema.stale_after_seconds;
+    spec.reward_range = {flags.get_double("reward-lo", schema.reward_lo),
+                         flags.get_double("reward-hi", schema.reward_hi)};
+  } else if (!selftest) {
+    if (!flags.has("event") || !flags.has("context") ||
+        !flags.has("action") || !flags.has("reward") ||
+        !flags.has("actions")) {
+      return usage();
+    }
     spec.decision_event = flags.get_string("event", "");
     for (const auto piece :
          util::split(flags.get_string("context", ""), ',')) {
@@ -158,6 +216,11 @@ int main(int argc, char** argv) {
 
   // Optional chaos rehearsal: corrupt the wire-format text before the
   // hardened read path ever sees it.
+  if (flags.has("inject") && hlog) {
+    std::cerr << "--inject is text-only; corrupt HLOG blocks with "
+                 "harvest_compact --corrupt-blocks instead\n";
+    return 2;
+  }
   if (flags.has("inject")) {
     try {
       const fault::FaultInjector injector(
@@ -179,12 +242,26 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Step 0: parse (streaming, bounded memory).
-  std::istringstream stream(text);
-  const auto [log, read_stats] = logs::LogStore::read_text_chunked(stream);
-  std::cout << "parsed " << log.size() << " records ("
-            << read_stats.skipped() << " malformed lines skipped)\n";
-  if (log.empty()) return 1;
+  // Step 0: parse (streaming text, bounded memory) or mmap-scan (HLOG).
+  logs::LogStore log;
+  if (hlog) {
+    std::cout << "format: hlog v" << store::kFormatVersion << " ("
+              << reader->shards().size() << " shards, "
+              << reader->num_blocks() << " blocks, " << reader->rows()
+              << " rows, " << reader->file_bytes() << " bytes)\n";
+    if (reader->rows() == 0) {
+      std::cerr << "HLOG corpus holds no decision rows\n";
+      return 1;
+    }
+  } else {
+    std::cout << "format: text\n";
+    std::istringstream stream(text);
+    auto [parsed, read_stats] = logs::LogStore::read_text_chunked(stream);
+    log = std::move(parsed);
+    std::cout << "parsed " << log.size() << " records ("
+              << read_stats.skipped() << " malformed lines skipped)\n";
+    if (log.empty()) return 1;
+  }
 
   // Steps 1-3 through the instrumented pipeline: scavenge, infer
   // propensities, evaluate every constant (per-action) policy.
@@ -205,7 +282,10 @@ int main(int argc, char** argv) {
   core::ExplorationDataset data(spec.num_actions, spec.reward_range);
   pipeline::HarvestReport report;
   try {
-    report = pipeline::evaluate_candidates(log, config, candidates, &data);
+    report = hlog ? pipeline::evaluate_candidates(*reader, config,
+                                                  candidates, &data)
+                  : pipeline::evaluate_candidates(log, config, candidates,
+                                                  &data);
   } catch (const std::exception& e) {
     std::cerr << "pipeline failed: " << e.what() << "\n";
     return 1;
@@ -218,6 +298,7 @@ int main(int argc, char** argv) {
               << ", bad-action " << report.dropped_bad_action
               << ", bad-propensity " << report.dropped_bad_propensity
               << ", stale-timestamp " << report.dropped_stale_timestamp
+              << ", corrupt-block " << report.dropped_corrupt_block
               << " (" << util::format_double(100 * report.quarantine_rate, 1)
               << "% of decisions)\n";
   }
