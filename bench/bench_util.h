@@ -1,14 +1,19 @@
 // Shared helpers for the reproduction benches: banners, paper-vs-measured
 // table assembly, and common flags (--seed, --fast, --metrics-out,
-// --threads).
+// --metrics-interval-ms, --threads, --trace-out, --trace-format).
 #pragma once
 
 #include <chrono>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/snapshot.h"
+#include "obs/trace.h"
 #include "par/thread_pool.h"
 #include "util/flags.h"
 
@@ -26,13 +31,22 @@ inline void banner(const std::string& experiment, const std::string& claim) {
 
 /// Common bench flags: seed, fast mode (CI-scale runs), worker threads
 /// (--threads N; 0 or 1 runs sequentially — results are bit-identical
-/// either way, see src/par/par.h), and an optional JSONL dump of every
-/// metric the run recorded (--metrics-out run.jsonl).
+/// either way, see src/par/par.h), an optional JSONL dump of every metric
+/// the run recorded (--metrics-out run.jsonl, optionally as a per-interval
+/// time series with --metrics-interval-ms N), and an optional flight
+/// recorder trace dump (--trace-out trace.json --trace-format
+/// {chrome,jsonl}).
 struct CommonFlags {
   std::uint64_t seed = 42;
   bool fast = false;
   std::size_t threads = 1;
   std::string metrics_out;
+  std::string trace_out;
+  std::string trace_format = "chrome";
+  std::size_t metrics_interval_ms = 0;
+  /// Periodic registry snapshotter, live for the run when
+  /// --metrics-interval-ms was given alongside --metrics-out.
+  std::shared_ptr<obs::SnapshotRecorder> snapshots;
 
   static CommonFlags parse(const util::Flags& flags) {
     CommonFlags out;
@@ -40,9 +54,20 @@ struct CommonFlags {
     out.fast = flags.get_bool("fast", false);
     out.threads = static_cast<std::size_t>(flags.get_int("threads", 1));
     out.metrics_out = flags.get_string("metrics-out", "");
+    out.trace_out = flags.get_string("trace-out", "");
+    out.trace_format = flags.get_string("trace-format", "chrome");
+    out.metrics_interval_ms =
+        static_cast<std::size_t>(flags.get_int("metrics-interval-ms", 0));
     // Installs the process-wide pool consumed by par::default_pool() inside
     // estimators, fitters, and the harvest pipeline.
     par::set_default_threads(out.threads);
+    obs::Recorder::global().set_thread_name("main");
+    if (out.metrics_interval_ms > 0 && !out.metrics_out.empty()) {
+      out.snapshots = std::make_shared<obs::SnapshotRecorder>(
+          obs::Registry::global(), out.metrics_out,
+          std::chrono::milliseconds(out.metrics_interval_ms));
+      out.snapshots->start();
+    }
     return out;
   }
 };
@@ -69,15 +94,46 @@ class WallTimer {
 };
 
 /// Dumps the process-wide metric registry as JSONL when --metrics-out was
-/// given. Call once at the end of main, after the workload ran.
+/// given. Call once at the end of main, after the workload ran. In
+/// --metrics-interval-ms mode the file already holds the per-interval time
+/// series; this stops the snapshotter (writing the final interval) instead
+/// of overwriting with one end-of-run dump.
 inline void export_metrics(const CommonFlags& flags) {
   if (flags.metrics_out.empty()) return;
+  if (flags.snapshots != nullptr) {
+    flags.snapshots->stop();
+    std::cout << "metrics: " << flags.snapshots->snapshots_written()
+              << " timed snapshots written to " << flags.metrics_out << "\n";
+    return;
+  }
   if (obs::write_jsonl_file(obs::Registry::global(), flags.metrics_out)) {
     std::cout << "metrics: " << obs::Registry::global().size()
               << " series written to " << flags.metrics_out << "\n";
   } else {
     std::cerr << "cannot write metrics to " << flags.metrics_out << "\n";
   }
+}
+
+/// Dumps the process-wide flight recorder when --trace-out was given:
+/// Chrome Trace Event JSON (--trace-format chrome, the default) or the
+/// legacy span JSONL (--trace-format jsonl). Call at the end of main.
+inline void export_trace(const CommonFlags& flags) {
+  if (flags.trace_out.empty()) return;
+  std::ofstream out(flags.trace_out);
+  if (!out) {
+    std::cerr << "cannot write trace to " << flags.trace_out << "\n";
+    return;
+  }
+  obs::Recorder& recorder = obs::Recorder::global();
+  if (flags.trace_format == "jsonl") {
+    obs::Tracer::global().write_jsonl(out);
+  } else {
+    recorder.write_chrome_trace(out);
+  }
+  std::cout << "trace: " << recorder.trace_size() << " events ("
+            << recorder.ring_dropped_total() << " dropped, "
+            << recorder.trace_evicted_total() << " evicted) written to "
+            << flags.trace_out << "\n";
 }
 
 }  // namespace harvest::bench

@@ -319,5 +319,6 @@ int main(int argc, char** argv) {
                "(concordance >= 60%, error at 20% > error at 0%)\n";
   timer.export_gauge("chaos_ingestion");
   bench::export_metrics(common);
+  bench::export_trace(common);
   return all_monotone ? 0 : 1;
 }

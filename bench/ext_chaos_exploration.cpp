@@ -130,5 +130,6 @@ int main(int argc, char** argv) {
             << "] the fault-aware policy (learned from harvested chaos "
                "logs) outperforms the fault-blind one under faults\n";
   bench::export_metrics(common);
+  bench::export_trace(common);
   return 0;
 }

@@ -88,5 +88,6 @@ int main(int argc, char** argv) {
             << util::format_double(oneshot_after / 2, 3)
             << "s mean over rounds 4-5)\n";
   bench::export_metrics(common);
+  bench::export_trace(common);
   return 0;
 }

@@ -135,5 +135,6 @@ int main(int argc, char** argv) {
             << util::format_double(default_value, 3) << ")\n";
   timer.export_gauge("fig3_ips_error");
   bench::export_metrics(common);
+  bench::export_trace(common);
   return 0;
 }

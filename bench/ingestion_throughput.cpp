@@ -202,6 +202,7 @@ int main(int argc, char** argv) {
   registry.gauge("ingest_hlog_records_per_sec").set(hlog_rps);
   registry.gauge("ingest_speedup").set(speedup);
   bench::export_metrics(flags);
+  bench::export_trace(flags);
 
   if (min_speedup > 0 && speedup < min_speedup) {
     std::cerr << "FAIL: HLOG speedup " << speedup << "x is below the "

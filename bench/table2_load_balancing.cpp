@@ -173,5 +173,6 @@ int main(int argc, char** argv) {
             << util::format_double(online_ll, 2) << "s)\n";
   timer.export_gauge("table2_load_balancing");
   bench::export_metrics(common);
+  bench::export_trace(common);
   return 0;
 }

@@ -222,5 +222,6 @@ int main(int argc, char** argv) {
             << "%, freq/size " << util::format_double(100 * fs_hr, 1)
             << "%)\n";
   bench::export_metrics(common);
+  bench::export_trace(common);
   return 0;
 }

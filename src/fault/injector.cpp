@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "util/hash.h"
 #include "util/rng.h"
 #include "util/string_util.h"
@@ -79,6 +80,9 @@ FaultInjector::FaultInjector(std::uint64_t seed, std::vector<FaultSpec> specs)
 
 InjectionReport FaultInjector::inject_lines(
     std::vector<std::string>& lines) const {
+  obs::Recorder& recorder = obs::Recorder::global();
+  static const std::uint32_t kInjectName = recorder.intern("fault.inject");
+  obs::RecSpan span(recorder, kInjectName, lines.size(), specs_.size());
   InjectionReport report;
   report.lines_in = lines.size();
 

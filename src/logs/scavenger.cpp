@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/recorder.h"
 #include "store/reader.h"
 
 namespace harvest::logs {
@@ -48,9 +49,14 @@ ScavengeResult scavenge(const LogStore& log, const ScavengeSpec& spec) {
   ScavengeResult result{core::ExplorationDataset(spec.num_actions,
                                                  spec.reward_range),
                         0, 0, 0, 0, 0, 0, 0};
+  obs::Recorder& recorder = obs::Recorder::global();
+  static const std::uint32_t kQuarantineName =
+      recorder.intern("harvest.quarantine");
   const auto quarantine = [&](QuarantineClass cls, const Record& rec,
                               std::size_t& counter) {
     ++counter;
+    recorder.emit_instant(kQuarantineName,
+                          static_cast<std::uint64_t>(cls));
     if (spec.on_quarantine) spec.on_quarantine(cls, rec);
   };
 

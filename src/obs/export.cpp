@@ -31,13 +31,30 @@ std::string json_labels(const Labels& labels) {
   return out;
 }
 
+/// Prometheus exposition-format label-value escaping: backslash, double
+/// quote, and line feed are the three characters the text format requires
+/// escaped inside label values.
+std::string prom_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 std::string prom_labels(const Labels& labels, const std::string& extra = "") {
   if (labels.empty() && extra.empty()) return "";
   std::string out = "{";
   bool first = true;
   for (const auto& [k, v] : labels) {
     if (!first) out += ",";
-    out += k + "=\"" + v + "\"";
+    out += k + "=\"" + prom_escape(v) + "\"";
     first = false;
   }
   if (!extra.empty()) {

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace harvest::obs {
 
@@ -77,14 +78,50 @@ T& Registry::get_or_create(std::map<std::string, Series<T>>& series,
   std::lock_guard<std::mutex> lock(mu_);
   auto it = series.find(key);
   if (it == series.end()) {
+    Labels effective = labels;
+    std::string effective_key = key;
+    // Cardinality guard: past the per-name cap, new label sets collapse
+    // into one overflow series so runaway label values (per-block indices,
+    // raw ids) cannot grow the registry without bound.
+    if (per_name_counts_[name] >= series_limit_) {
+      ++series_overflow_;
+      bool& warned = overflow_warned_[name];
+      if (!warned) {
+        warned = true;
+        std::fprintf(stderr,
+                     "obs: metric '%s' hit the %zu-series label cap; "
+                     "further label sets collapse into %s{overflow=\"true\"}\n",
+                     name.c_str(), series_limit_, name.c_str());
+      }
+      effective = {{"overflow", "true"}};
+      effective_key = name + label_suffix(effective);
+      it = series.find(effective_key);
+      if (it != series.end()) return *it->second.metric;
+    }
     Series<T> entry;
     entry.name = name;
-    entry.labels = labels;
+    entry.labels = std::move(effective);
     std::sort(entry.labels.begin(), entry.labels.end());
     entry.metric = std::make_unique<T>();
-    it = series.emplace(key, std::move(entry)).first;
+    it = series.emplace(effective_key, std::move(entry)).first;
+    ++per_name_counts_[name];
   }
   return *it->second.metric;
+}
+
+void Registry::set_series_limit(std::size_t limit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  series_limit_ = std::max<std::size_t>(limit, 1);
+}
+
+std::size_t Registry::series_limit() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_limit_;
+}
+
+std::uint64_t Registry::series_overflow_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_overflow_;
 }
 
 Counter& Registry::counter(const std::string& name, const Labels& labels) {
@@ -139,6 +176,9 @@ void Registry::clear() {
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  per_name_counts_.clear();
+  overflow_warned_.clear();
+  series_overflow_ = 0;
 }
 
 Registry& Registry::global() {

@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -89,9 +90,24 @@ class Histogram {
 /// thread-safe. Distinct label sets on the same name are distinct series.
 class Registry {
  public:
+  /// Per-name series cap (counter/gauge/histogram series combined). Once a
+  /// name reaches the cap, further *new* label sets collapse into a single
+  /// overflow series labeled {overflow="true"} (with one stderr warning per
+  /// name) instead of growing the registry without bound — per-block or
+  /// per-shard label values cannot explode a scrape. Existing series keep
+  /// working.
+  static constexpr std::size_t kDefaultSeriesLimit = 1024;
+
   Counter& counter(const std::string& name, const Labels& labels = {});
   Gauge& gauge(const std::string& name, const Labels& labels = {});
   Histogram& histogram(const std::string& name, const Labels& labels = {});
+
+  /// Adjusts the per-name series cap (minimum 1). Takes effect for series
+  /// created after the call.
+  void set_series_limit(std::size_t limit);
+  std::size_t series_limit() const;
+  /// Label sets that were collapsed into an overflow series so far.
+  std::uint64_t series_overflow_total() const;
 
   /// One exported metric series (snapshot views used by the exporters).
   struct CounterEntry { std::string name; Labels labels; const Counter* metric; };
@@ -127,6 +143,11 @@ class Registry {
   std::map<std::string, Series<Counter>> counters_;
   std::map<std::string, Series<Gauge>> gauges_;
   std::map<std::string, Series<Histogram>> histograms_;
+  std::size_t series_limit_ = kDefaultSeriesLimit;  // guarded by mu_
+  std::uint64_t series_overflow_ = 0;               // guarded by mu_
+  /// Per-name series counts and whether the overflow warning fired.
+  std::map<std::string, std::size_t> per_name_counts_;  // guarded by mu_
+  std::map<std::string, bool> overflow_warned_;         // guarded by mu_
 };
 
 }  // namespace harvest::obs

@@ -1,8 +1,11 @@
 // Umbrella header for the observability layer: labeled metrics, span
-// tracing, exporters, and OPE-health diagnostics.
+// tracing, the lock-free flight recorder, periodic registry snapshots,
+// exporters, and OPE-health diagnostics.
 #pragma once
 
 #include "obs/diagnostics.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/snapshot.h"
 #include "obs/trace.h"

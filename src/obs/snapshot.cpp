@@ -1,0 +1,70 @@
+#include "obs/snapshot.h"
+
+#include <sstream>
+
+#include "obs/export.h"
+
+namespace harvest::obs {
+
+SnapshotRecorder::SnapshotRecorder(Registry& registry, std::string path,
+                                   std::chrono::milliseconds period)
+    : registry_(registry),
+      path_(std::move(path)),
+      period_(period <= std::chrono::milliseconds(0)
+                  ? std::chrono::milliseconds(1000)
+                  : period) {}
+
+SnapshotRecorder::~SnapshotRecorder() { stop(); }
+
+void SnapshotRecorder::start() {
+  if (thread_.joinable()) return;
+  out_.open(path_, std::ios::trunc);
+  ok_ = static_cast<bool>(out_);
+  if (!ok_) return;
+  start_time_ = std::chrono::steady_clock::now();
+  stop_ = false;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void SnapshotRecorder::stop() {
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  write_snapshot();  // final end-of-run state
+  out_.close();
+}
+
+void SnapshotRecorder::loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (cv_.wait_for(lock, period_, [this] { return stop_; })) return;
+    lock.unlock();
+    write_snapshot();
+    lock.lock();
+  }
+}
+
+void SnapshotRecorder::write_snapshot() {
+  const auto t_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start_time_)
+          .count());
+  // Reuse the canonical exporter and stamp each line, so snapshot lines
+  // stay format-compatible with end-of-run dumps.
+  std::ostringstream dump;
+  write_jsonl(registry_, dump);
+  std::istringstream lines(dump.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    out_ << "{\"t_ms\":" << t_ms << "," << line.substr(1) << "\n";
+  }
+  out_.flush();
+  ++snapshots_;
+}
+
+}  // namespace harvest::obs

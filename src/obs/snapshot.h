@@ -1,0 +1,59 @@
+// Periodic registry snapshots: a background thread that appends a timed
+// JSONL dump of a Registry every interval, so benches emit per-interval
+// time series ({"t_ms":…, …} per metric line) instead of one end-of-run
+// dump. Each snapshot line is the ordinary exporter line (export.h) with a
+// leading "t_ms" field — milliseconds since the recorder started — so the
+// same parsers work on both shapes.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace harvest::obs {
+
+class SnapshotRecorder {
+ public:
+  /// Snapshots `registry` into `path` every `period`. The file is opened
+  /// (truncated) on start(); ok() reports whether that worked.
+  SnapshotRecorder(Registry& registry, std::string path,
+                   std::chrono::milliseconds period);
+  ~SnapshotRecorder();
+
+  SnapshotRecorder(const SnapshotRecorder&) = delete;
+  SnapshotRecorder& operator=(const SnapshotRecorder&) = delete;
+
+  /// Opens the file and starts the snapshot thread. Idempotent.
+  void start();
+  /// Stops the thread, writing one final snapshot so the run's end state is
+  /// always captured. Idempotent.
+  void stop();
+
+  bool ok() const { return ok_; }
+  std::uint64_t snapshots_written() const { return snapshots_; }
+
+ private:
+  void loop();
+  void write_snapshot();
+
+  Registry& registry_;
+  std::string path_;
+  std::chrono::milliseconds period_;
+  std::chrono::steady_clock::time_point start_time_;
+  std::ofstream out_;
+  bool ok_ = false;
+  std::uint64_t snapshots_ = 0;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool stop_ = false;  // guarded by mu_
+};
+
+}  // namespace harvest::obs

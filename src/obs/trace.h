@@ -1,22 +1,25 @@
 // Lightweight span tracing for the harvest pipeline: scoped RAII timers
-// with parent/child nesting, collected into a fixed-capacity ring buffer
-// and dumpable as JSONL (one span object per line). Spans are cheap enough
-// to wrap coarse stages (scavenge, infer, estimate, train, deploy rounds)
-// but are not meant for per-request instrumentation — use obs::Registry
-// counters/histograms for that.
+// with parent/child nesting, dumpable as JSONL (one span object per line).
+// Spans wrap coarse stages (scavenge, infer, estimate, train, deploy
+// rounds); since this PR they are recorded through the lock-free flight
+// recorder (recorder.h), so per-request use is no longer forbidden — but
+// prefer raw RecSpan/emit_instant at true hot-path sites, which skip the
+// per-span name intern and id bookkeeping this API keeps for its JSONL
+// parent/child format.
 #pragma once
 
-#include <chrono>
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "obs/recorder.h"
 
 namespace harvest::obs {
 
 /// One finished span. `parent_id` 0 means a root span. `start_us` is
-/// microseconds since the tracer was constructed (steady clock).
+/// microseconds since the underlying recorder's epoch (steady clock).
 struct SpanRecord {
   std::uint64_t id = 0;
   std::uint64_t parent_id = 0;
@@ -26,8 +29,11 @@ struct SpanRecord {
   int depth = 0;  ///< nesting depth at completion (root = 0)
 };
 
-/// Ring-buffered span collector. Thread-safe for concurrent span
-/// completion; parent/child nesting is tracked per thread.
+/// Span collector, now a facade over the flight recorder: completion emits
+/// one kScopeSpan event on the calling thread's lock-free ring; snapshot()
+/// drains and reassembles SpanRecords in completion order. A local Tracer
+/// owns a private Recorder whose bounded trace keeps the newest `capacity`
+/// events; Tracer::global() records into Recorder::global().
 class Tracer {
  public:
   explicit Tracer(std::size_t capacity = 4096);
@@ -47,24 +53,28 @@ class Tracer {
 
   std::size_t capacity() const { return capacity_; }
 
+  /// The recorder spans are emitted into (the process recorder for
+  /// Tracer::global(), a private one for local instances).
+  Recorder& recorder() { return *recorder_; }
+
   /// The process-wide tracer instrumented code reports to.
   static Tracer& global();
 
  private:
   friend class ScopedSpan;
 
-  std::uint64_t next_id();
-  void complete(SpanRecord record);
-  double now_us() const;
+  /// Wraps Recorder::global() instead of owning a private recorder.
+  struct GlobalTag {};
+  explicit Tracer(GlobalTag);
+
+  void complete(std::uint32_t name_id, std::uint64_t id,
+                std::uint64_t parent_id, int depth, std::uint64_t start_ns,
+                std::uint64_t dur_ns);
 
   bool enabled_ = true;
   std::size_t capacity_;
-  std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mu_;
-  std::uint64_t id_counter_ = 0;  // guarded by mu_
-  std::vector<SpanRecord> ring_;  // guarded by mu_
-  std::size_t ring_head_ = 0;     // next write position once full
-  bool ring_full_ = false;
+  std::unique_ptr<Recorder> owned_;  // null for the global facade
+  Recorder* recorder_;
 };
 
 /// RAII span: opens on construction, records into the tracer on
@@ -80,13 +90,16 @@ class ScopedSpan {
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
-  std::uint64_t id() const { return record_.id; }
+  std::uint64_t id() const { return id_; }
 
  private:
   Tracer* tracer_;  // null when the tracer was disabled at construction
-  SpanRecord record_;
-  double start_us_ = 0;
+  std::uint32_t name_id_ = 0;
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_id_ = 0;
   std::uint64_t saved_parent_ = 0;
+  std::uint64_t start_ns_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace harvest::obs

@@ -2,7 +2,10 @@
 
 #include <chrono>
 #include <stdexcept>
+#include <string>
 #include <utility>
+
+#include "obs/recorder.h"
 
 namespace harvest::par {
 
@@ -64,7 +67,8 @@ void ThreadPool::submit(std::function<void()> task) {
   cv_.notify_one();
 }
 
-bool ThreadPool::pop_or_steal(std::size_t self, std::function<void()>& out) {
+bool ThreadPool::pop_or_steal(std::size_t self, std::function<void()>& out,
+                              bool& stolen, std::size_t& victim) {
   // Own queue: newest first (LIFO) — best locality for forked subtasks.
   {
     WorkerQueue& q = *queues_[self];
@@ -72,16 +76,21 @@ bool ThreadPool::pop_or_steal(std::size_t self, std::function<void()>& out) {
     if (!q.tasks.empty()) {
       out = std::move(q.tasks.back());
       q.tasks.pop_back();
+      stolen = false;
+      victim = self;
       return true;
     }
   }
   // Steal: oldest first (FIFO) from the other queues.
   for (std::size_t k = 1; k < queues_.size(); ++k) {
-    WorkerQueue& q = *queues_[(self + k) % queues_.size()];
+    const std::size_t v = (self + k) % queues_.size();
+    WorkerQueue& q = *queues_[v];
     std::lock_guard<std::mutex> lock(q.mu);
     if (!q.tasks.empty()) {
       out = std::move(q.tasks.front());
       q.tasks.pop_front();
+      stolen = true;
+      victim = v;
       return true;
     }
   }
@@ -91,24 +100,38 @@ bool ThreadPool::pop_or_steal(std::size_t self, std::function<void()>& out) {
 bool ThreadPool::try_run_one() {
   const std::size_t self = tls_pool == this ? tls_worker_index : 0;
   std::function<void()> task;
-  if (!pop_or_steal(self, task)) return false;
+  bool stolen = false;
+  std::size_t victim = 0;
+  if (!pop_or_steal(self, task, stolen, victim)) return false;
   {
     std::lock_guard<std::mutex> lock(cv_mu_);
     --pending_;
   }
-  task();
+  {
+    obs::Recorder& rec = obs::Recorder::global();
+    static const std::uint32_t kTaskName = rec.intern("par.task");
+    obs::RecSpan span(rec, kTaskName, stolen ? 1 : 0, victim);
+    task();
+  }
   return true;
 }
 
 void ThreadPool::worker_loop(std::size_t index) {
   tls_pool = this;
   tls_worker_index = index;
+  obs::Recorder& rec = obs::Recorder::global();
+  rec.set_thread_name("pool.worker-" + std::to_string(index));
+  static const std::uint32_t kParkName = rec.intern("par.park");
   for (;;) {
     if (try_run_one()) continue;
     std::unique_lock<std::mutex> lock(cv_mu_);
     if (pending_ > 0) continue;  // raced with a submit; rescan
     if (stop_) break;            // drained: safe to exit
+    const std::uint64_t park_start = rec.now_ns();
     cv_.wait(lock);
+    if (rec.enabled()) {
+      rec.emit_span(kParkName, park_start, rec.now_ns() - park_start);
+    }
   }
   tls_pool = nullptr;
 }

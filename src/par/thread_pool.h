@@ -69,7 +69,11 @@ class ThreadPool {
   };
 
   void worker_loop(std::size_t index);
-  bool pop_or_steal(std::size_t self, std::function<void()>& out);
+  /// Pops from `self`'s queue (LIFO) or steals FIFO from another queue.
+  /// On success, `stolen`/`victim` report where the task came from (for the
+  /// flight recorder's steal-balance accounting).
+  bool pop_or_steal(std::size_t self, std::function<void()>& out,
+                    bool& stolen, std::size_t& victim);
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "store/crc32c.h"
 #include "store/encoding.h"
@@ -192,9 +193,19 @@ ScanResult Reader::scan(par::ThreadPool* pool) const {
   par::parallel_for(
       pool, par::ShardPlan::per_item(shards_.size()),
       [&](std::size_t, std::size_t begin, std::size_t end) {
+        // Flight-recorder events, not labeled metrics: shard/block indices
+        // ride in the event payload, so per-block instrumentation cannot
+        // blow up the registry's label cardinality.
+        obs::Recorder& rec = obs::Recorder::global();
+        static const std::uint32_t kShardName = rec.intern("store.shard");
+        static const std::uint32_t kBlockName = rec.intern("store.block");
+        static const std::uint32_t kQuarantineName =
+            rec.intern("store.quarantine");
+        const bool tracing = rec.enabled();
         for (std::size_t s = begin; s < end; ++s) {
           const ShardIndexEntry& shard = shards_[s];
           ShardScan& scan = scans[s];
+          obs::RecSpan shard_span(rec, kShardName, s, shard.blocks);
           const std::uint64_t shard_end_row = shard.first_row + shard.rows;
           std::size_t pos = shard.offset;
           const std::size_t shard_end = shard.offset + shard.bytes;
@@ -204,9 +215,12 @@ ScanResult Reader::scan(par::ThreadPool* pool) const {
             if (shard_end_row > row) {
               scan.quarantined.push_back(
                   {s, block_base[s] + block, shard_end_row - row, reason});
+              rec.emit_instant(kQuarantineName, block_base[s] + block,
+                               shard_end_row - row);
             }
           };
           for (std::uint32_t b = 0; b < shard.blocks; ++b) {
+            const std::uint64_t block_start = tracing ? rec.now_ns() : 0;
             // Framing: magic + row count, then 5 (len, crc) column headers.
             if (pos + 8 > shard_end ||
                 get_u32(data_.data() + pos) != kBlockMagic) {
@@ -279,6 +293,12 @@ ScanResult Reader::scan(par::ThreadPool* pool) const {
             } else {
               scan.quarantined.push_back(
                   {s, block_base[s] + b, rows, bad_reason});
+              rec.emit_instant(kQuarantineName, block_base[s] + b, rows);
+            }
+            if (tracing) {
+              rec.emit_span(kBlockName, block_start,
+                            rec.now_ns() - block_start, block_base[s] + b,
+                            rows);
             }
             row += rows;
             pos = cursor;

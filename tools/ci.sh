@@ -113,3 +113,41 @@ if [[ -z "$SANITIZE" ]]; then
   "$BUILD_DIR/bench/ingestion_throughput" --fast --threads 4 --reps 3 \
     --min-speedup 3
 fi
+
+echo "==> obs: recorder overhead gate + trace analyzer round-trip"
+if [[ -z "$SANITIZE" ]]; then
+  # The flight recorder must be ~free on the hot path: instrumented
+  # scavenge->estimate within 5% of baseline, and default configs drop-free.
+  # The JSON snapshot is committed so perf regressions show up in review.
+  "$BUILD_DIR/bench/obs_overhead" --reps 5 --records 8000 --iters 4 \
+    --max-overhead 0.05 --json-out BENCH_obs.json
+else
+  # Sanitizer builds skew timing; run the bench for coverage, gate off.
+  "$BUILD_DIR/bench/obs_overhead" --fast > /dev/null
+fi
+# A real bench run must produce a chrome trace the analyzer can read back
+# into per-worker utilization and a critical path.
+OBS_TRACE="$STORE_DIR/table2.trace.json"
+"$BUILD_DIR/bench/table2_load_balancing" --fast --threads 4 \
+  --trace-out "$OBS_TRACE" --trace-format chrome > /dev/null
+OBS_REPORT="$("$BUILD_DIR/tools/harvest_trace" "$OBS_TRACE")"
+for needle in "per-worker utilization" "critical path" "par.task"; do
+  if ! grep -q "$needle" <<< "$OBS_REPORT"; then
+    echo "FAIL: harvest_trace report missing '$needle'" >&2
+    echo "$OBS_REPORT" >&2
+    exit 1
+  fi
+done
+echo "ok: overhead within gate; trace analyzer reconstructs worker report"
+
+if [[ -z "$SANITIZE" ]]; then
+  echo "==> obs: recorder stress under TSan"
+  # The SPSC handoff (drain-while-recording) is the race the recorder's
+  # memory ordering exists to make safe; prove it under the analyzer even
+  # on plain CI runs.
+  cmake -B build-ci-obs-tsan -S . -DHARVEST_SANITIZE=thread
+  cmake --build build-ci-obs-tsan -j "$(nproc)" --target recorder_stress_tests
+  ctest --test-dir build-ci-obs-tsan --output-on-failure \
+    -R 'RecorderStressTest' -j "$(nproc)"
+  echo "ok: recorder stress clean under TSan"
+fi

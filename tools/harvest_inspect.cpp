@@ -27,8 +27,12 @@
 // --diagnostics prints the OPE-health panel: effective sample size,
 //   min propensity, importance-weight tails, and the logging-vs-evaluation
 //   context-drift statistic (the A1 stationarity check).
-// --trace FILE writes the span trace (one JSON object per line, with
-//   parent/child nesting) covering every pipeline stage that ran.
+// --trace FILE writes the flight-recorder trace covering every pipeline
+//   stage that ran. --trace-format picks the encoding: `jsonl` (default;
+//   one span object per line with parent/child nesting, byte-compatible
+//   with pre-recorder dumps on clean runs) or `chrome` (Chrome Trace Event
+//   JSON for chrome://tracing / Perfetto, including worker-thread and
+//   store/pool events).
 // --inject SPEC corrupts the log text before ingestion with the
 //   seed-deterministic fault injector (e.g. "torn=0.05,dup=0.02,bad-p=0.01";
 //   see src/fault/fault_spec.h for the taxonomy) — a chaos rehearsal of the
@@ -54,6 +58,7 @@ int usage() {
          "                       [--reward-lo X] [--reward-hi Y]\n"
          "                       [--format auto|text|hlog]\n"
          "                       [--diagnostics] [--trace FILE]\n"
+         "                       [--trace-format jsonl|chrome]\n"
          "                       [--inject SPEC] [--inject-seed N]\n"
          "       harvest_inspect --selftest [--diagnostics] [--trace FILE]\n"
          "(HLOG inputs are self-describing: the field-spec flags default\n"
@@ -125,6 +130,12 @@ int main(int argc, char** argv) {
   const util::Flags flags(argc, argv);
   const bool diagnostics = flags.get_bool("diagnostics", false);
   const std::string trace_path = flags.get_string("trace", "");
+  const std::string trace_format = flags.get_string("trace-format", "jsonl");
+  if (trace_format != "jsonl" && trace_format != "chrome") {
+    std::cerr << "bad --trace-format '" << trace_format
+              << "' (want jsonl or chrome)\n";
+    return 2;
+  }
   // --threads N parallelizes the pipeline's estimator/training stages;
   // output is bit-identical for any value (see src/par/par.h).
   par::set_default_threads(
@@ -355,9 +366,16 @@ int main(int argc, char** argv) {
       std::cerr << "cannot write trace to " << trace_path << "\n";
       return 1;
     }
-    obs::Tracer::global().write_jsonl(trace_file);
-    std::cout << "trace: " << obs::Tracer::global().snapshot().size()
-              << " spans written to " << trace_path << "\n";
+    if (trace_format == "chrome") {
+      obs::Recorder& recorder = obs::Recorder::global();
+      recorder.write_chrome_trace(trace_file);
+      std::cout << "trace: " << recorder.trace_size()
+                << " events written to " << trace_path << "\n";
+    } else {
+      obs::Tracer::global().write_jsonl(trace_file);
+      std::cout << "trace: " << obs::Tracer::global().snapshot().size()
+                << " spans written to " << trace_path << "\n";
+    }
   }
   return 0;
 }

@@ -1,0 +1,406 @@
+// harvest_trace — offline analyzer for flight-recorder trace dumps.
+//
+// Ingests either of the two trace encodings the repo emits:
+//   - Chrome Trace Event JSON (bench --trace-out trace.json, or
+//     harvest_inspect --trace t.json --trace-format chrome), including the
+//     pool/store/fault events recorded off the span API, or
+//   - legacy span JSONL (harvest_inspect --trace spans.jsonl), one
+//     {"id","parent","name",...} object per line,
+// and reports:
+//   1. per-stage aggregate timings (count / total / mean / max per name),
+//   2. the top-N slowest individual spans,
+//   3. per-worker utilization and steal balance (from par.task events:
+//      a=stolen flag, b=victim queue),
+//   4. the critical path of the longest root span — the chain of slowest
+//      descendants, with self-time per hop.
+//
+// Nesting comes from explicit parent ids when present (scope spans, JSONL)
+// and interval containment within a thread otherwise (recorder-native
+// spans), so both encodings produce the same shape of report.
+//
+// Usage:
+//   harvest_trace trace.json [--top 10] [--stage-prefix pipeline.]
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/flags.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace {
+
+using harvest::util::Flags;
+using harvest::util::Table;
+using harvest::util::format_double;
+
+/// One duration event, normalized from either encoding. Times are in
+/// microseconds from the trace epoch.
+struct Span {
+  std::string name;
+  double ts = 0;
+  double dur = 0;
+  int tid = 0;
+  std::uint64_t id = 0;      // 0 when the encoding carries no id
+  std::uint64_t parent = 0;  // 0 = root / unknown
+  bool has_ids = false;
+  // par.task payload (chrome "a"/"b" args): was the task stolen, and from
+  // whom.
+  std::optional<std::uint64_t> arg_a, arg_b;
+};
+
+struct Trace {
+  std::vector<Span> spans;
+  std::map<int, std::string> thread_names;
+  std::size_t instants = 0;
+  std::size_t counters = 0;
+};
+
+// --- minimal JSON field scraping -----------------------------------------
+// Both encodings are emitted by this repo one object per line, so a
+// line-oriented scraper is exact for our own output and tolerant of
+// hand-edited files.
+
+std::optional<double> find_number(const std::string& line,
+                                  const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  auto pos = line.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  pos += needle.size();
+  const char* begin = line.c_str() + pos;
+  char* end = nullptr;
+  const double v = std::strtod(begin, &end);
+  if (end == begin) return std::nullopt;
+  return v;
+}
+
+std::optional<std::string> find_string(const std::string& line,
+                                       const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  auto pos = line.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  pos += needle.size();
+  std::string out;
+  while (pos < line.size() && line[pos] != '"') {
+    if (line[pos] == '\\' && pos + 1 < line.size()) {
+      ++pos;
+      switch (line[pos]) {
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        default: out += line[pos];
+      }
+    } else {
+      out += line[pos];
+    }
+    ++pos;
+  }
+  return out;
+}
+
+/// Parses one trace file. Chrome dumps are detected by the traceEvents
+/// envelope; anything else is treated as span JSONL.
+std::optional<Trace> parse_trace(std::istream& in) {
+  Trace trace;
+  std::string first_line;
+  if (!std::getline(in, first_line)) return std::nullopt;
+  const bool chrome =
+      first_line.find("\"traceEvents\"") != std::string::npos;
+
+  std::string line = chrome ? "" : first_line;
+  bool saw_close = false;
+  do {
+    if (line.empty()) continue;
+    // Chrome body lines end with "," or "}"; the final "]}"" closes the
+    // envelope.
+    if (chrome && line.find("]}") == 0) {
+      saw_close = true;
+      continue;
+    }
+    const auto name = find_string(line, "name");
+    if (!name) continue;
+    if (chrome) {
+      const auto ph = find_string(line, "ph");
+      if (!ph) return std::nullopt;  // not Trace Event shaped after all
+      const int tid = static_cast<int>(find_number(line, "tid").value_or(0));
+      if (*ph == "M") {
+        // thread_name metadata: args.name holds the label, but find_string
+        // on "name" already matched the metadata key — re-scrape inside
+        // args.
+        const auto args_at = line.find("\"args\"");
+        if (args_at != std::string::npos) {
+          const auto label = find_string(line.substr(args_at), "name");
+          if (label) trace.thread_names[tid] = *label;
+        }
+        continue;
+      }
+      if (*ph == "i") {
+        ++trace.instants;
+        continue;
+      }
+      if (*ph == "C") {
+        ++trace.counters;
+        continue;
+      }
+      if (*ph != "X") continue;
+      Span span;
+      span.name = *name;
+      span.tid = tid;
+      span.ts = find_number(line, "ts").value_or(0);
+      span.dur = find_number(line, "dur").value_or(0);
+      if (const auto id = find_number(line, "id")) {
+        span.id = static_cast<std::uint64_t>(*id);
+        span.parent = static_cast<std::uint64_t>(
+            find_number(line, "parent").value_or(0));
+        span.has_ids = true;
+      }
+      if (const auto a = find_number(line, "a")) {
+        span.arg_a = static_cast<std::uint64_t>(*a);
+      }
+      if (const auto b = find_number(line, "b")) {
+        span.arg_b = static_cast<std::uint64_t>(*b);
+      }
+      trace.spans.push_back(std::move(span));
+    } else {
+      // Legacy JSONL: {"id":..,"parent":..,"name":"..","start_us":..,
+      // "duration_us":..,"depth":..}
+      const auto id = find_number(line, "id");
+      const auto start = find_number(line, "start_us");
+      const auto dur = find_number(line, "duration_us");
+      if (!id || !start || !dur) return std::nullopt;
+      Span span;
+      span.name = *name;
+      span.ts = *start;
+      span.dur = *dur;
+      span.id = static_cast<std::uint64_t>(*id);
+      span.parent = static_cast<std::uint64_t>(
+          find_number(line, "parent").value_or(0));
+      span.has_ids = true;
+      trace.spans.push_back(std::move(span));
+    }
+  } while (std::getline(in, line));
+  if (chrome && !saw_close) return std::nullopt;  // truncated dump
+  return trace;
+}
+
+// --- nesting -------------------------------------------------------------
+
+/// children[i] lists span indices nested directly under span i; `roots`
+/// lists top-level spans. Explicit parent ids win; spans without ids nest
+/// by interval containment within their thread.
+struct Forest {
+  std::vector<std::vector<std::size_t>> children;
+  std::vector<std::size_t> roots;
+};
+
+Forest build_forest(const std::vector<Span>& spans) {
+  Forest forest;
+  forest.children.resize(spans.size());
+  std::map<std::uint64_t, std::size_t> by_id;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].has_ids && spans[i].id != 0) by_id[spans[i].id] = i;
+  }
+  // Containment pass, per tid: sweep by start time keeping a stack of open
+  // spans; the innermost open interval that contains a span is its parent.
+  std::map<int, std::vector<std::size_t>> by_tid;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    by_tid[spans[i].tid].push_back(i);
+  }
+  std::vector<std::optional<std::size_t>> parent_of(spans.size());
+  for (auto& [tid, indices] : by_tid) {
+    std::sort(indices.begin(), indices.end(),
+              [&](std::size_t x, std::size_t y) {
+                if (spans[x].ts != spans[y].ts) {
+                  return spans[x].ts < spans[y].ts;
+                }
+                return spans[x].dur > spans[y].dur;  // outermost first
+              });
+    std::vector<std::size_t> stack;
+    for (const std::size_t i : indices) {
+      while (!stack.empty() &&
+             spans[stack.back()].ts + spans[stack.back()].dur <
+                 spans[i].ts + spans[i].dur) {
+        stack.pop_back();
+      }
+      if (!stack.empty()) parent_of[i] = stack.back();
+      stack.push_back(i);
+    }
+  }
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    std::optional<std::size_t> parent;
+    if (spans[i].has_ids && spans[i].parent != 0) {
+      const auto it = by_id.find(spans[i].parent);
+      if (it != by_id.end()) parent = it->second;
+    } else if (!spans[i].has_ids) {
+      parent = parent_of[i];
+    }
+    if (parent) {
+      forest.children[*parent].push_back(i);
+    } else {
+      forest.roots.push_back(i);
+    }
+  }
+  return forest;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  if (flags.positional().empty()) {
+    std::cerr << "usage: harvest_trace <trace.json|spans.jsonl> [--top N]\n"
+                 "                     [--stage-prefix PFX]\n";
+    return 2;
+  }
+  const auto top_n =
+      static_cast<std::size_t>(std::max<std::int64_t>(
+          flags.get_int("top", 10), 1));
+  const std::string stage_prefix = flags.get_string("stage-prefix", "");
+
+  std::ifstream file(flags.positional().front());
+  if (!file) {
+    std::cerr << "cannot open " << flags.positional().front() << "\n";
+    return 1;
+  }
+  const auto parsed = parse_trace(file);
+  if (!parsed) {
+    std::cerr << "not a recognizable trace dump (want Chrome Trace Event "
+                 "JSON or span JSONL)\n";
+    return 1;
+  }
+  const Trace& trace = *parsed;
+  if (trace.spans.empty()) {
+    std::cerr << "trace holds no duration events\n";
+    return 1;
+  }
+
+  double t_min = trace.spans.front().ts;
+  double t_max = 0;
+  for (const auto& s : trace.spans) {
+    t_min = std::min(t_min, s.ts);
+    t_max = std::max(t_max, s.ts + s.dur);
+  }
+  const double wall_us = t_max - t_min;
+  std::cout << "trace: " << trace.spans.size() << " spans, "
+            << trace.instants << " instants, " << trace.counters
+            << " counter samples over "
+            << format_double(wall_us / 1000.0, 3) << " ms\n";
+
+  // 1. Per-stage aggregates.
+  struct Agg {
+    std::size_t count = 0;
+    double total = 0, max = 0;
+  };
+  std::map<std::string, Agg> stages;
+  for (const auto& s : trace.spans) {
+    if (!stage_prefix.empty() && s.name.rfind(stage_prefix, 0) != 0) {
+      continue;
+    }
+    Agg& agg = stages[s.name];
+    ++agg.count;
+    agg.total += s.dur;
+    agg.max = std::max(agg.max, s.dur);
+  }
+  std::vector<std::pair<std::string, Agg>> ordered(stages.begin(),
+                                                   stages.end());
+  std::sort(ordered.begin(), ordered.end(), [](const auto& x, const auto& y) {
+    return x.second.total > y.second.total;
+  });
+  std::cout << "\n== per-stage aggregate timings ==\n";
+  Table stage_table({"stage", "count", "total ms", "mean us", "max us"});
+  for (const auto& [name, agg] : ordered) {
+    stage_table.add_row(
+        {name, std::to_string(agg.count),
+         format_double(agg.total / 1000.0, 3),
+         format_double(agg.total / static_cast<double>(agg.count), 1),
+         format_double(agg.max, 1)});
+  }
+  stage_table.print(std::cout);
+
+  // 2. Top-N slowest spans.
+  std::vector<std::size_t> slowest(trace.spans.size());
+  for (std::size_t i = 0; i < slowest.size(); ++i) slowest[i] = i;
+  std::sort(slowest.begin(), slowest.end(), [&](std::size_t x, std::size_t y) {
+    return trace.spans[x].dur > trace.spans[y].dur;
+  });
+  std::cout << "\n== top " << std::min(top_n, slowest.size())
+            << " slowest spans ==\n";
+  Table slow_table({"span", "thread", "start ms", "duration us"});
+  for (std::size_t k = 0; k < std::min(top_n, slowest.size()); ++k) {
+    const Span& s = trace.spans[slowest[k]];
+    const auto tn = trace.thread_names.find(s.tid);
+    slow_table.add_row({s.name,
+                        tn != trace.thread_names.end()
+                            ? tn->second
+                            : "tid-" + std::to_string(s.tid),
+                        format_double((s.ts - t_min) / 1000.0, 3),
+                        format_double(s.dur, 1)});
+  }
+  slow_table.print(std::cout);
+
+  // 3. Per-worker utilization + steal balance from par.task events.
+  struct Worker {
+    std::size_t tasks = 0, stolen = 0;
+    double busy = 0;
+  };
+  std::map<int, Worker> workers;
+  for (const auto& s : trace.spans) {
+    if (s.name != "par.task") continue;
+    Worker& w = workers[s.tid];
+    ++w.tasks;
+    w.busy += s.dur;
+    if (s.arg_a.value_or(0) == 1) ++w.stolen;
+  }
+  if (!workers.empty() && wall_us > 0) {
+    std::cout << "\n== per-worker utilization (par.task) ==\n";
+    Table worker_table(
+        {"thread", "tasks", "stolen", "busy ms", "utilization"});
+    for (const auto& [tid, w] : workers) {
+      const auto tn = trace.thread_names.find(tid);
+      worker_table.add_row(
+          {tn != trace.thread_names.end() ? tn->second
+                                          : "tid-" + std::to_string(tid),
+           std::to_string(w.tasks), std::to_string(w.stolen),
+           format_double(w.busy / 1000.0, 3),
+           format_double(100.0 * w.busy / wall_us, 1) + "%"});
+    }
+    worker_table.print(std::cout);
+  }
+
+  // 4. Critical path: from the longest root span, repeatedly descend into
+  // the slowest direct child; the gap between a hop and its children is
+  // self-time.
+  const Forest forest = build_forest(trace.spans);
+  if (!forest.roots.empty()) {
+    std::size_t at = forest.roots.front();
+    for (const std::size_t r : forest.roots) {
+      if (trace.spans[r].dur > trace.spans[at].dur) at = r;
+    }
+    std::cout << "\n== critical path (longest root, slowest child chain) "
+                 "==\n";
+    for (;;) {
+      const Span& s = trace.spans[at];
+      double child_total = 0;
+      for (const std::size_t c : forest.children[at]) {
+        child_total += trace.spans[c].dur;
+      }
+      const double self_us = std::max(0.0, s.dur - child_total);
+      std::cout << s.name << "  " << format_double(s.dur / 1000.0, 3)
+                << " ms (self " << format_double(self_us / 1000.0, 3)
+                << " ms)\n";
+      if (forest.children[at].empty()) break;
+      std::size_t next = forest.children[at].front();
+      for (const std::size_t c : forest.children[at]) {
+        if (trace.spans[c].dur > trace.spans[next].dur) next = c;
+      }
+      std::cout << "  \\-> ";
+      at = next;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+# End-to-end smoke for the flight-recorder trace tooling, run as a ctest:
+#   1. run harvest_inspect --selftest twice, dumping the same run as legacy
+#      span JSONL and as Chrome Trace Event JSON,
+#   2. feed both dumps to harvest_trace — the analyzer must parse either
+#      encoding and produce a report containing the per-stage table and the
+#      critical path,
+#   3. reject garbage input with a nonzero exit.
+# Driven by: cmake -DINSPECT=... -DTRACE=... -DWORK_DIR=... -P this_file
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(JSONL ${WORK_DIR}/spans.jsonl)
+set(CHROME ${WORK_DIR}/trace.json)
+
+function(run outvar)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE code
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "command failed (${code}): ${ARGN}\n${out}\n${err}")
+  endif()
+  set(${outvar} "${out}" PARENT_SCOPE)
+endfunction()
+
+run(_ ${INSPECT} --selftest --trace ${JSONL} --trace-format jsonl)
+run(_ ${INSPECT} --selftest --trace ${CHROME} --trace-format chrome)
+
+foreach(dump ${JSONL} ${CHROME})
+  run(report ${TRACE} ${dump})
+  foreach(want "per-stage aggregate timings" "critical path"
+          "pipeline.scavenge")
+    string(FIND "${report}" "${want}" at)
+    if(at EQUAL -1)
+      message(FATAL_ERROR
+              "harvest_trace report for ${dump} lacks '${want}':\n${report}")
+    endif()
+  endforeach()
+endforeach()
+
+# Garbage input must be rejected, not crash or report nonsense.
+file(WRITE ${WORK_DIR}/garbage.json "this is not a trace\n")
+execute_process(COMMAND ${TRACE} ${WORK_DIR}/garbage.json
+                RESULT_VARIABLE code OUTPUT_QUIET ERROR_QUIET)
+if(code EQUAL 0)
+  message(FATAL_ERROR "harvest_trace accepted garbage input")
+endif()
