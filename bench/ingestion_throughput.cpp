@@ -10,14 +10,30 @@
 // --min-speedup X additionally fails the run when HLOG does not beat text
 // by at least Xx in records/sec (CI pins 3x).
 //
+// --rows N switches to the scale-out mode: N rows (CI uses 10M) are
+// synthesized straight into a partitioned dataset directory (no text —
+// that would be gigabytes), then a full scan races a selective scan whose
+// predicate keeps only the newest ~0.5% of rows. Zone maps make the
+// selective scan skip whole blocks; --min-prune-speedup X fails the run
+// when pruning does not deliver at least Xx (CI pins 10x). The mode also
+// asserts, in-process:
+//   - the pruned scan is bit-identical to full-scan-then-filter,
+//   - scan conservation: kept + quarantined == synthesized rows,
+//   - the parallel merge of all parts is byte-identical at 1 thread and at
+//     --merge-threads, and its quarantine ledger is conserved exactly.
+//
 // Flags: --records N --reps N --min-speedup X --json-out FILE
+//        --rows N --rows-per-file N --min-prune-speedup X --workdir DIR
+//        --merge-threads N
 //        plus the common --seed/--fast/--threads/--metrics-out.
 #include <algorithm>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "harvest/harvest.h"
@@ -80,11 +96,229 @@ bool identical(const core::ExplorationDataset& a,
   return true;
 }
 
+bool columns_identical(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+/// The scale-out mode: synthesize a partitioned dataset, race a zone-map
+/// pruned selective scan against a full scan, and prove the parallel merge
+/// is deterministic and ledger-conserving. Returns the process exit code.
+int run_scaled(const util::Flags& raw_flags, const bench::CommonFlags& flags,
+               std::size_t rows) {
+  namespace fs = std::filesystem;
+  const auto reps =
+      static_cast<std::size_t>(raw_flags.get_int("reps", 3));
+  const double min_prune_speedup =
+      raw_flags.get_double("min-prune-speedup", 0.0);
+  const auto rows_per_file = static_cast<std::uint64_t>(raw_flags.get_int(
+      "rows-per-file", static_cast<std::int64_t>(std::max<std::size_t>(
+                           1, (rows + 7) / 8))));
+  const std::string workdir = raw_flags.get_string(
+      "workdir",
+      (fs::temp_directory_path() / "hlog_ingest_bench").string());
+
+  bench::banner(
+      "Scale-out ingestion: full scan vs zone-map selective scan",
+      "windowed analyses should pay for the blocks they read, not the "
+      "corpus size");
+
+  // Synthesize the dataset. Time is monotone (i * 0.5) so a recent-window
+  // predicate maps onto a tail of blocks; "tier" has 16 distinct values so
+  // the dictionary coder engages, while "load" stays raw-encoded.
+  store::Schema schema;
+  schema.decision_event = "decide";
+  schema.context_fields = {"load", "tier"};
+  schema.action_field = "choice";
+  schema.reward_field = "reward";
+  schema.num_actions = 3;
+  schema.reward_lo = -0.5;
+  schema.reward_hi = 1.5;
+
+  fs::remove_all(workdir);
+  bench::WallTimer synth_timer;
+  {
+    store::DatasetWriter writer(workdir, schema, {}, rows_per_file);
+    util::Rng rng(flags.seed);
+    double context[2];
+    for (std::size_t i = 0; i < rows; ++i) {
+      context[0] = rng.uniform(0.0, 10.0);
+      context[1] = static_cast<double>(rng.uniform_index(16));
+      const auto action =
+          static_cast<std::uint32_t>(rng.uniform_index(3));
+      const double reward =
+          0.5 + 0.04 * static_cast<double>(action) * (context[0] - 5.0) +
+          rng.normal(0.0, 0.05);
+      writer.add(static_cast<double>(i) * 0.5, context, action, reward,
+                 1.0 / 3.0);
+    }
+    writer.finish();
+  }
+  const double synth_ms = synth_timer.elapsed_ms();
+
+  const store::Dataset dataset = store::Dataset::open(workdir);
+  std::cout << "dataset: " << rows << " rows in "
+            << dataset.manifest().shards.size() << " files / "
+            << dataset.num_blocks() << " blocks, " << dataset.file_bytes()
+            << " bytes (synthesized in "
+            << util::format_double(synth_ms, 0) << " ms), " << reps
+            << " reps, " << flags.threads << " threads\n";
+
+  // Selective predicate: the newest ~0.5% of the time range.
+  store::ScanPredicate predicate;
+  predicate.min_time =
+      0.995 * static_cast<double>(rows - 1) * 0.5;
+
+  store::ScanResult full;
+  double full_best_ms = 0;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    bench::WallTimer timer;
+    store::ScanResult result = dataset.scan();
+    const double ms = timer.elapsed_ms();
+    if (rep == 0 || ms < full_best_ms) full_best_ms = ms;
+    full = std::move(result);
+  }
+  store::ScanResult selective;
+  double selective_best_ms = 0;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    bench::WallTimer timer;
+    store::ScanResult result = dataset.scan(predicate);
+    const double ms = timer.elapsed_ms();
+    if (rep == 0 || ms < selective_best_ms) selective_best_ms = ms;
+    selective = std::move(result);
+  }
+
+  // Scan conservation: every synthesized row is either scanned or
+  // quarantined (a healthy corpus quarantines nothing).
+  if (full.rows() + full.rows_quarantined() != rows) {
+    std::cerr << "FAIL: scan conservation: " << full.rows() << " kept + "
+              << full.rows_quarantined() << " quarantined != " << rows
+              << " synthesized\n";
+    return 1;
+  }
+
+  // Exactness: the pruned scan must equal full-scan-then-filter, bit for
+  // bit, including the context columns.
+  {
+    store::ScanResult expected;
+    expected.context_dim = full.context_dim;
+    for (std::size_t i = 0; i < full.rows(); ++i) {
+      if (!predicate.matches(full.time[i], full.action[i],
+                             full.propensity[i])) {
+        continue;
+      }
+      expected.time.push_back(full.time[i]);
+      expected.action.push_back(full.action[i]);
+      expected.reward.push_back(full.reward[i]);
+      expected.propensity.push_back(full.propensity[i]);
+      expected.context.insert(
+          expected.context.end(),
+          full.context.begin() +
+              static_cast<std::ptrdiff_t>(i * full.context_dim),
+          full.context.begin() +
+              static_cast<std::ptrdiff_t>((i + 1) * full.context_dim));
+    }
+    if (!columns_identical(expected.time, selective.time) ||
+        !columns_identical(expected.reward, selective.reward) ||
+        !columns_identical(expected.propensity, selective.propensity) ||
+        !columns_identical(expected.context, selective.context) ||
+        expected.action != selective.action) {
+      std::cerr << "FAIL: pruned scan differs from full-scan-then-filter\n";
+      return 1;
+    }
+  }
+
+  // Merge determinism + conservation: fold every part into one file,
+  // sequentially and on a pool, and require byte-identical output.
+  std::vector<const store::Reader*> inputs;
+  for (const store::Reader& reader : dataset.readers()) {
+    inputs.push_back(&reader);
+  }
+  const auto merge_threads = static_cast<std::size_t>(
+      raw_flags.get_int("merge-threads", 4));
+  std::string merged_seq;
+  store::MergeReport merge_report;
+  {
+    std::ostringstream out(std::ios::binary);
+    merge_report = store::merge_readers(inputs, out, {}, nullptr);
+    merged_seq = std::move(out).str();
+  }
+  double merge_ms = 0;
+  bool merge_deterministic = false;
+  {
+    par::ThreadPool pool(std::max<std::size_t>(1, merge_threads - 1));
+    bench::WallTimer timer;
+    std::ostringstream out(std::ios::binary);
+    const store::MergeReport parallel_report =
+        store::merge_readers(inputs, out, {}, &pool);
+    merge_ms = timer.elapsed_ms();
+    merge_deterministic = std::move(out).str() == merged_seq &&
+                          parallel_report.conserved();
+  }
+  if (!merge_deterministic || !merge_report.conserved() ||
+      merge_report.rows_kept != rows) {
+    std::cerr << "FAIL: merge is not deterministic/conserving (kept "
+              << merge_report.rows_kept << " of " << rows << ")\n";
+    return 1;
+  }
+
+  const double n = static_cast<double>(rows);
+  const double full_rps = n / (full_best_ms / 1000.0);
+  // Selective throughput counts corpus rows per second: the scan answered
+  // the same question over the same corpus, just without reading most of it.
+  const double selective_rps = n / (selective_best_ms / 1000.0);
+  const double prune_speedup = full_best_ms / selective_best_ms;
+
+  std::ostringstream json;
+  json.precision(6);
+  json << "{\"mode\": \"scaled\", \"rows\": " << rows
+       << ", \"files\": " << dataset.manifest().shards.size()
+       << ", \"blocks\": " << dataset.num_blocks()
+       << ", \"hlog_bytes\": " << dataset.file_bytes()
+       << ", \"synth_ms\": " << synth_ms
+       << ", \"full_ms\": " << full_best_ms
+       << ", \"selective_ms\": " << selective_best_ms
+       << ", \"full_records_per_sec\": " << full_rps
+       << ", \"selective_records_per_sec\": " << selective_rps
+       << ", \"rows_selected\": " << selective.rows()
+       << ", \"blocks_pruned\": " << selective.blocks_pruned
+       << ", \"blocks_total\": " << dataset.num_blocks()
+       << ", \"prune_speedup\": " << prune_speedup
+       << ", \"merge_ms\": " << merge_ms
+       << ", \"merge_deterministic\": true, \"merge_conserved\": true"
+       << ", \"threads\": " << flags.threads << "}";
+  std::cout << json.str() << "\n";
+  if (!raw_flags.get_string("json-out", "").empty()) {
+    std::ofstream out(raw_flags.get_string("json-out", ""));
+    out << json.str() << "\n";
+  }
+
+  obs::Registry& registry = obs::Registry::global();
+  registry.gauge("ingest_full_records_per_sec").set(full_rps);
+  registry.gauge("ingest_selective_records_per_sec").set(selective_rps);
+  registry.gauge("ingest_prune_speedup").set(prune_speedup);
+  bench::export_metrics(flags);
+  bench::export_trace(flags);
+  fs::remove_all(workdir);
+
+  if (min_prune_speedup > 0 && prune_speedup < min_prune_speedup) {
+    std::cerr << "FAIL: prune speedup " << prune_speedup
+              << "x is below the " << min_prune_speedup << "x floor\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const util::Flags raw_flags(argc, argv);
   const auto flags = bench::CommonFlags::parse(raw_flags);
+  const auto scaled_rows =
+      static_cast<std::size_t>(raw_flags.get_int("rows", 0));
+  if (scaled_rows > 0) return run_scaled(raw_flags, flags, scaled_rows);
   const auto records = static_cast<std::size_t>(
       raw_flags.get_int("records", flags.fast ? 50000 : 400000));
   const auto reps =

@@ -200,8 +200,21 @@ HarvestReport evaluate_candidates(
     const std::vector<core::PolicyPtr>& candidates,
     core::ExplorationDataset* harvested_out) {
   return evaluate_candidates_impl(
-      [&] { return logs::scavenge(reader, config.spec); }, config, candidates,
-      harvested_out);
+      [&] {
+        return logs::scavenge(reader, config.spec, config.scan_predicate);
+      },
+      config, candidates, harvested_out);
+}
+
+HarvestReport evaluate_candidates(
+    const store::Dataset& dataset, const PipelineConfig& config,
+    const std::vector<core::PolicyPtr>& candidates,
+    core::ExplorationDataset* harvested_out) {
+  return evaluate_candidates_impl(
+      [&] {
+        return logs::scavenge(dataset, config.spec, config.scan_predicate);
+      },
+      config, candidates, harvested_out);
 }
 
 core::PolicyPtr optimize_policy(const logs::LogStore& log,
@@ -215,8 +228,20 @@ core::PolicyPtr optimize_policy(const store::Reader& reader,
                                 const PipelineConfig& config,
                                 core::TrainConfig train_config) {
   return optimize_policy_impl(
-      [&] { return logs::scavenge(reader, config.spec); }, config,
-      train_config);
+      [&] {
+        return logs::scavenge(reader, config.spec, config.scan_predicate);
+      },
+      config, train_config);
+}
+
+core::PolicyPtr optimize_policy(const store::Dataset& dataset,
+                                const PipelineConfig& config,
+                                core::TrainConfig train_config) {
+  return optimize_policy_impl(
+      [&] {
+        return logs::scavenge(dataset, config.spec, config.scan_predicate);
+      },
+      config, train_config);
 }
 
 }  // namespace harvest::pipeline

@@ -17,6 +17,7 @@
 #include "core/train/trainer.h"
 #include "logs/scavenger.h"
 #include "obs/diagnostics.h"
+#include "store/dataset.h"
 #include "store/reader.h"
 
 namespace harvest::pipeline {
@@ -90,6 +91,11 @@ struct PipelineConfig {
   /// Quarantine rate above which a "high-quarantine" warning is raised —
   /// past this, the surviving sample may no longer represent the log.
   double max_quarantine_rate = 0.25;
+  /// Pushed down to the zone-mapped binary scan (Reader/Dataset overloads
+  /// only; text scavenging ignores it). Lets windowed analyses — e.g. the
+  /// drift-aware "recent data only" runs — skip whole blocks instead of
+  /// harvesting everything and filtering. The trivial default scans all.
+  store::ScanPredicate scan_predicate;
 };
 
 /// Runs steps 1-3 for evaluation: scavenges `log`, infers propensities, and
@@ -103,9 +109,16 @@ HarvestReport evaluate_candidates(
 /// becomes a parallel column scan instead of a text parse, with identical
 /// results for a corpus compacted under `config.spec` (see logs::scavenge's
 /// Reader overload for the matching rules; corrupt blocks surface as
-/// dropped_corrupt_block).
+/// dropped_corrupt_block). `config.scan_predicate` is pushed down to the
+/// zone-mapped scan.
 HarvestReport evaluate_candidates(
     const store::Reader& reader, const PipelineConfig& config,
+    const std::vector<core::PolicyPtr>& candidates,
+    core::ExplorationDataset* harvested_out = nullptr);
+
+/// And over a partitioned dataset directory (store::Dataset).
+HarvestReport evaluate_candidates(
+    const store::Dataset& dataset, const PipelineConfig& config,
     const std::vector<core::PolicyPtr>& candidates,
     core::ExplorationDataset* harvested_out = nullptr);
 
@@ -117,6 +130,11 @@ core::PolicyPtr optimize_policy(const logs::LogStore& log,
 
 /// Optimization over a compacted HLOG corpus.
 core::PolicyPtr optimize_policy(const store::Reader& reader,
+                                const PipelineConfig& config,
+                                core::TrainConfig train_config = {});
+
+/// Optimization over a partitioned dataset.
+core::PolicyPtr optimize_policy(const store::Dataset& dataset,
                                 const PipelineConfig& config,
                                 core::TrainConfig train_config = {});
 

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "obs/recorder.h"
+#include "store/dataset.h"
 #include "store/reader.h"
 
 namespace harvest::logs {
@@ -134,14 +135,17 @@ ScavengeResult scavenge(const LogStore& log, const ScavengeSpec& spec) {
   return result;
 }
 
-ScavengeResult scavenge(const store::Reader& reader,
-                        const ScavengeSpec& spec) {
-  validate_spec(spec);
-  const store::Schema& schema = reader.schema();
+namespace {
+
+/// Shared schema check for the binary paths; `origin` names the file (or
+/// dataset directory) so a mismatch among many shards is attributable.
+void check_schema(const store::Schema& schema, const ScavengeSpec& spec,
+                  const std::string& origin) {
   const auto mismatch = [&](const std::string& what) {
     throw std::invalid_argument(
-        "scavenge: spec does not match the HLOG schema (" + what +
-        ") — this corpus was compacted under a different field mapping");
+        "scavenge: " + origin + ": spec does not match the HLOG schema (" +
+        what + ") — this corpus was compacted under a different field "
+        "mapping");
   };
   if (schema.decision_event != spec.decision_event) mismatch("decision_event");
   if (schema.context_fields != spec.context_fields) mismatch("context_fields");
@@ -158,9 +162,13 @@ ScavengeResult scavenge(const store::Reader& reader,
       schema.reward_hi != spec.reward_range.hi) {
     mismatch("reward_range");
   }
+}
 
-  const store::ScanResult scan = reader.scan();
-  const store::Counts& counts = reader.counts();
+/// Builds the ScavengeResult from a completed binary scan: footer ledger +
+/// merge-time corrupt rows + freshly quarantined blocks, then the tuples.
+ScavengeResult scavenge_scan(const store::ScanResult& scan,
+                             const store::Counts& counts,
+                             const ScavengeSpec& spec) {
   ScavengeResult result{core::ExplorationDataset(spec.num_actions,
                                                  spec.reward_range),
                         static_cast<std::size_t>(counts.records_seen),
@@ -170,7 +178,8 @@ ScavengeResult scavenge(const store::Reader& reader,
                         static_cast<std::size_t>(counts.dropped_bad_propensity),
                         static_cast<std::size_t>(
                             counts.dropped_stale_timestamp),
-                        static_cast<std::size_t>(scan.rows_quarantined())};
+                        static_cast<std::size_t>(counts.dropped_corrupt_block +
+                                                 scan.rows_quarantined())};
 
   // Corrupt blocks join the quarantine ledger like any other drop class;
   // the synthetic record carries the block coordinates a dead-letter
@@ -197,6 +206,23 @@ ScavengeResult scavenge(const store::Reader& reader,
         spec.reward_transform(scan.reward[i]), scan.propensity[i]});
   }
   return result;
+}
+
+}  // namespace
+
+ScavengeResult scavenge(const store::Reader& reader, const ScavengeSpec& spec,
+                        const store::ScanPredicate& predicate) {
+  validate_spec(spec);
+  check_schema(reader.schema(), spec, reader.origin());
+  return scavenge_scan(reader.scan(predicate), reader.counts(), spec);
+}
+
+ScavengeResult scavenge(const store::Dataset& dataset,
+                        const ScavengeSpec& spec,
+                        const store::ScanPredicate& predicate) {
+  validate_spec(spec);
+  check_schema(dataset.schema(), spec, dataset.dir());
+  return scavenge_scan(dataset.scan(predicate), dataset.totals(), spec);
 }
 
 }  // namespace harvest::logs

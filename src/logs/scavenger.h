@@ -11,9 +11,11 @@
 
 #include "core/dataset.h"
 #include "logs/log_store.h"
+#include "store/format.h"  // store::ScanPredicate rides the HLOG fast path
 
 namespace harvest::store {
-class Reader;  // store/reader.h; scavenge has an HLOG fast path
+class Reader;   // store/reader.h; scavenge has an HLOG fast path
+class Dataset;  // store/dataset.h; partitioned corpora scavenge the same way
 }
 
 namespace harvest::logs {
@@ -104,10 +106,24 @@ ScavengeResult scavenge(const LogStore& log, const ScavengeSpec& spec);
 /// and in the same order (validation ran at compaction; raw rewards are
 /// stored, so `spec.reward_transform` is applied here), counters restored
 /// from the footer ledger, plus any CRC-quarantined blocks accounted as
-/// kCorruptBlock drops. Throws std::invalid_argument when `spec` does not
-/// match the schema the corpus was compacted under: a mismatched field
-/// mapping would silently scavenge a different question, so it is refused
-/// (re-scavenge the original text instead).
-ScavengeResult scavenge(const store::Reader& reader, const ScavengeSpec& spec);
+/// kCorruptBlock drops. Throws std::invalid_argument (naming the corpus
+/// path) when `spec` does not match the schema the corpus was compacted
+/// under: a mismatched field mapping would silently scavenge a different
+/// question, so it is refused (re-scavenge the original text instead).
+///
+/// A non-trivial `predicate` is pushed down to the zone-mapped scan: only
+/// matching rows are harvested (blocks that cannot match are never read).
+/// The footer ledger counters still describe the *whole* corpus — rows
+/// outside the predicate window are neither harvested nor counted as drops,
+/// so `decisions_seen == harvested + total_dropped()` reconciles only for
+/// the trivial predicate.
+ScavengeResult scavenge(const store::Reader& reader, const ScavengeSpec& spec,
+                        const store::ScanPredicate& predicate = {});
+
+/// Same fast path over a partitioned dataset: shards scavenge in manifest
+/// order, ledger counters come from the dataset manifest.
+ScavengeResult scavenge(const store::Dataset& dataset,
+                        const ScavengeSpec& spec,
+                        const store::ScanPredicate& predicate = {});
 
 }  // namespace harvest::logs

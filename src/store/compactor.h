@@ -1,0 +1,52 @@
+// Parallel merging compactor: folds many HLOG inputs (small shard files, a
+// dataset's members, or both) into one large output file. The merge is
+// bit-deterministic at any thread count: the decoded input rows are a pure
+// concatenation in input order, every output shard owns a pre-assigned row
+// slice that one task encodes independently (a complete Writer run, so
+// dictionaries and zone maps are rebuilt per shard), and the encoded
+// regions are stitched under one footer sequentially.
+//
+// Conservation: the output ledger is the memberwise sum of the input
+// ledgers, with any rows newly quarantined while reading the inputs moved
+// into dropped_corrupt_block. Kept + quarantined therefore balances exactly
+// across the merge — damaged inputs shrink the row count but never the
+// ledger total.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "par/parallel.h"
+#include "store/format.h"
+#include "store/reader.h"
+#include "store/writer.h"
+
+namespace harvest::store {
+
+struct MergeReport {
+  Counts input_totals;   ///< memberwise sum of the input footers
+  Counts output;         ///< ledger written to the merged footer
+  std::uint64_t rows_kept = 0;         ///< rows decoded and re-encoded
+  std::uint64_t rows_quarantined = 0;  ///< rows lost to CRC at merge time
+  std::size_t output_shards = 0;
+  std::size_t output_blocks = 0;
+
+  /// The conservation invariant the merge must uphold:
+  /// input kept+quarantined == output kept+quarantined.
+  bool conserved() const {
+    return input_totals.rows == rows_kept + rows_quarantined &&
+           output.rows == rows_kept &&
+           output.dropped_corrupt_block ==
+               input_totals.dropped_corrupt_block + rows_quarantined;
+  }
+};
+
+/// Merges `inputs` (scanned in order) into a single HLOG written to `out`
+/// with the given geometry. All inputs must share one schema; throws
+/// std::runtime_error (naming the offending input) otherwise.
+MergeReport merge_readers(const std::vector<const Reader*>& inputs,
+                          std::ostream& out, const WriterOptions& options = {},
+                          par::ThreadPool* pool = par::default_pool());
+
+}  // namespace harvest::store

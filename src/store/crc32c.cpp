@@ -2,6 +2,20 @@
 
 #include <array>
 #include <cstddef>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#include <nmmintrin.h>
+#define HARVEST_CRC32C_X86 1
+#elif defined(__aarch64__) && defined(__linux__)
+#include <arm_acle.h>
+#include <sys/auxv.h>
+#ifndef HWCAP_CRC32
+#define HWCAP_CRC32 (1 << 7)
+#endif
+#define HARVEST_CRC32C_ARM 1
+#endif
 
 namespace harvest::store {
 
@@ -37,9 +51,74 @@ const Tables& tables() {
   return tables;
 }
 
+#if defined(HARVEST_CRC32C_X86)
+
+__attribute__((target("sse4.2"))) std::uint32_t crc32c_hw(
+    std::string_view bytes, std::uint32_t seed) {
+  std::uint64_t crc = ~seed;
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(bytes.data());
+  std::size_t n = bytes.size();
+  while (n >= 8) {
+    std::uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    crc = _mm_crc32_u64(crc, chunk);
+    p += 8;
+    n -= 8;
+  }
+  std::uint32_t crc32 = static_cast<std::uint32_t>(crc);
+  while (n-- > 0) {
+    crc32 = _mm_crc32_u8(crc32, *p++);
+  }
+  return ~crc32;
+}
+
+bool hardware_supported() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return false;
+  return (ecx & bit_SSE4_2) != 0;
+}
+
+constexpr std::string_view kHardwareName = "sse4.2";
+
+#elif defined(HARVEST_CRC32C_ARM)
+
+__attribute__((target("+crc"))) std::uint32_t crc32c_hw(std::string_view bytes,
+                                                        std::uint32_t seed) {
+  std::uint32_t crc = ~seed;
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(bytes.data());
+  std::size_t n = bytes.size();
+  while (n >= 8) {
+    std::uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    crc = __crc32cd(crc, chunk);
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = __crc32cb(crc, *p++);
+  }
+  return ~crc;
+}
+
+bool hardware_supported() {
+  return (getauxval(AT_HWCAP) & HWCAP_CRC32) != 0;
+}
+
+constexpr std::string_view kHardwareName = "armv8-crc";
+
+#endif
+
+#if defined(HARVEST_CRC32C_X86) || defined(HARVEST_CRC32C_ARM)
+const bool kUseHardware = hardware_supported();
+#else
+constexpr bool kUseHardware = false;
+#endif
+
 }  // namespace
 
-std::uint32_t crc32c(std::string_view bytes, std::uint32_t seed) {
+std::uint32_t crc32c_software(std::string_view bytes, std::uint32_t seed) {
   const auto& t = tables().t;
   std::uint32_t crc = ~seed;
   const unsigned char* p =
@@ -59,6 +138,20 @@ std::uint32_t crc32c(std::string_view bytes, std::uint32_t seed) {
     crc = t[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
   }
   return ~crc;
+}
+
+std::uint32_t crc32c(std::string_view bytes, std::uint32_t seed) {
+#if defined(HARVEST_CRC32C_X86) || defined(HARVEST_CRC32C_ARM)
+  if (kUseHardware) return crc32c_hw(bytes, seed);
+#endif
+  return crc32c_software(bytes, seed);
+}
+
+std::string_view crc32c_backend() {
+#if defined(HARVEST_CRC32C_X86) || defined(HARVEST_CRC32C_ARM)
+  if (kUseHardware) return kHardwareName;
+#endif
+  return "software";
 }
 
 }  // namespace harvest::store

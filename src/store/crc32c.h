@@ -1,7 +1,13 @@
 // CRC32C (Castagnoli, polynomial 0x1EDC6F41) — the checksum guarding every
-// HLOG column payload. Software slice-by-4 implementation: dependency-free,
-// identical output on every platform, and fast enough that checksumming is
-// invisible next to varint decoding on the scan path.
+// HLOG column payload and shard dictionary. Two implementations behind one
+// entry point:
+//   - a hardware path using the dedicated CRC32C instructions (SSE4.2 on
+//     x86-64, the ARMv8 CRC32 extension on aarch64), selected once at
+//     runtime when the CPU reports support;
+//   - the portable software slice-by-4 fallback, dependency-free and
+//     identical on every platform.
+// Both produce the same Castagnoli CRC for the same bytes — tests/store
+// cross-checks them on the RFC vectors and random buffers.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +17,15 @@ namespace harvest::store {
 
 /// CRC32C of `bytes` continuing from `seed` (pass the previous return value
 /// to checksum a logical stream in pieces). `seed` 0 starts a fresh CRC.
+/// Dispatches to the hardware implementation when available.
 std::uint32_t crc32c(std::string_view bytes, std::uint32_t seed = 0);
+
+/// The portable slice-by-4 implementation, always available — the reference
+/// the hardware path is verified against.
+std::uint32_t crc32c_software(std::string_view bytes, std::uint32_t seed = 0);
+
+/// Which implementation crc32c() dispatches to on this machine:
+/// "sse4.2", "armv8-crc", or "software".
+std::string_view crc32c_backend();
 
 }  // namespace harvest::store

@@ -172,6 +172,48 @@ inline bool decode_u32_column_into(std::string_view payload, std::size_t rows,
   return pos == payload.size();
 }
 
+// ---- field streams --------------------------------------------------------
+// The v2 context column is field-major: one stream per context field, all
+// sharing a single payload. These variants advance a cursor instead of
+// demanding the payload be exactly one stream, and take a stride so decode
+// can scatter straight into the row-major output array.
+
+inline void encode_f64_stream(const double* values, std::size_t rows,
+                              std::size_t stride, std::string& out) {
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < rows; ++i) {
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(values[i * stride]);
+    put_varint(out, bits ^ prev);
+    prev = bits;
+  }
+}
+
+inline bool decode_f64_stream(std::string_view payload, std::size_t* pos,
+                              std::size_t rows, double* out,
+                              std::size_t stride) {
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::uint64_t delta = 0;
+    if (!get_varint(payload, pos, &delta)) return false;
+    prev ^= delta;
+    out[i * stride] = std::bit_cast<double>(prev);
+  }
+  return true;
+}
+
+inline bool decode_u32_stream(std::string_view payload, std::size_t* pos,
+                              std::size_t rows, std::uint32_t* out) {
+  std::int64_t prev = 0;
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::uint64_t raw = 0;
+    if (!get_varint(payload, pos, &raw)) return false;
+    prev += unzigzag(raw);
+    if (prev < 0 || prev > 0xFFFFFFFFll) return false;
+    out[i] = static_cast<std::uint32_t>(prev);
+  }
+  return true;
+}
+
 // ---- length-prefixed strings (schema section) -----------------------------
 
 inline void put_str(std::string& out, std::string_view s) {

@@ -1,11 +1,126 @@
 #include "store/format.h"
 
+#include <cmath>
+
+#include "store/crc32c.h"
 #include "store/encoding.h"
+#include "util/string_util.h"
 
 namespace harvest::store {
 
 bool is_hlog(std::string_view bytes) {
   return bytes.size() >= 4 && get_u32(bytes.data()) == kFileMagic;
+}
+
+Counts& Counts::operator+=(const Counts& other) {
+  records_seen += other.records_seen;
+  decisions_seen += other.decisions_seen;
+  dropped_missing_fields += other.dropped_missing_fields;
+  dropped_bad_action += other.dropped_bad_action;
+  dropped_bad_propensity += other.dropped_bad_propensity;
+  dropped_stale_timestamp += other.dropped_stale_timestamp;
+  dropped_corrupt_block += other.dropped_corrupt_block;
+  rows += other.rows;
+  return *this;
+}
+
+bool ScanPredicate::trivial() const {
+  return min_time == -std::numeric_limits<double>::infinity() &&
+         max_time == std::numeric_limits<double>::infinity() &&
+         !action.has_value() &&
+         min_propensity == -std::numeric_limits<double>::infinity() &&
+         max_propensity == std::numeric_limits<double>::infinity();
+}
+
+// Bounds are written as negated comparisons so NaN (which fails every
+// ordered comparison) passes: a NaN row is never filtered by a range, and a
+// NaN-widened zone (min=-inf, max=+inf) is never pruned — the two
+// conventions together keep pruned scans exactly equal to filtered scans.
+bool ScanPredicate::admits(const ZoneMap& zone) const {
+  if (zone.max_time < min_time || zone.min_time > max_time) return false;
+  if (action.has_value() &&
+      (*action < zone.min_action || *action > zone.max_action)) {
+    return false;
+  }
+  if (zone.max_propensity < min_propensity ||
+      zone.min_propensity > max_propensity) {
+    return false;
+  }
+  return true;
+}
+
+bool ScanPredicate::matches(double time, std::uint32_t action_id,
+                            double propensity) const {
+  if (time < min_time || time > max_time) return false;
+  if (action.has_value() && action_id != *action) return false;
+  if (propensity < min_propensity || propensity > max_propensity) {
+    return false;
+  }
+  return true;
+}
+
+std::string ScanPredicate::describe() const {
+  if (trivial()) return "all";
+  std::string out;
+  const auto append = [&](const std::string& piece) {
+    if (!out.empty()) out += ' ';
+    out += piece;
+  };
+  if (min_time != -std::numeric_limits<double>::infinity()) {
+    append("time>=" + util::format_double(min_time, 6));
+  }
+  if (max_time != std::numeric_limits<double>::infinity()) {
+    append("time<=" + util::format_double(max_time, 6));
+  }
+  if (action.has_value()) {
+    append("action==" + std::to_string(*action));
+  }
+  if (min_propensity != -std::numeric_limits<double>::infinity()) {
+    append("p>=" + util::format_double(min_propensity, 6));
+  }
+  if (max_propensity != std::numeric_limits<double>::infinity()) {
+    append("p<=" + util::format_double(max_propensity, 6));
+  }
+  return out;
+}
+
+std::string encode_footer_and_trailer(
+    const std::vector<ShardIndexEntry>& shards,
+    const std::vector<BlockIndexEntry>& blocks, const Counts& counts) {
+  std::string footer;
+  put_u32(footer, static_cast<std::uint32_t>(shards.size()));
+  for (const auto& shard : shards) {
+    put_u64(footer, shard.offset);
+    put_u64(footer, shard.first_row);
+    put_u64(footer, shard.rows);
+    put_u32(footer, shard.blocks);
+    put_u32(footer, shard.bytes);
+    put_u32(footer, shard.dict_bytes);
+  }
+  for (const auto& block : blocks) {
+    put_u32(footer, block.bytes);
+    put_u32(footer, block.rows);
+    put_f64(footer, block.zone.min_time);
+    put_f64(footer, block.zone.max_time);
+    put_u32(footer, block.zone.min_action);
+    put_u32(footer, block.zone.max_action);
+    put_f64(footer, block.zone.min_propensity);
+    put_f64(footer, block.zone.max_propensity);
+  }
+  put_u64(footer, counts.records_seen);
+  put_u64(footer, counts.decisions_seen);
+  put_u64(footer, counts.dropped_missing_fields);
+  put_u64(footer, counts.dropped_bad_action);
+  put_u64(footer, counts.dropped_bad_propensity);
+  put_u64(footer, counts.dropped_stale_timestamp);
+  put_u64(footer, counts.dropped_corrupt_block);
+  put_u64(footer, counts.rows);
+
+  std::string out = footer;
+  put_u32(out, static_cast<std::uint32_t>(footer.size()));
+  put_u32(out, crc32c(footer));
+  put_u32(out, kTrailerMagic);
+  return out;
 }
 
 }  // namespace harvest::store

@@ -1,7 +1,11 @@
-// HLOG v1 — the on-disk binary columnar format for harvested decision
+// HLOG v2 — the on-disk binary columnar format for harvested decision
 // records. Text logs are the ingestion wire format; HLOG is the *storage*
 // format that makes re-scanning the same corpus near-zero-copy instead of
-// re-parsing key=value text on every run.
+// re-parsing key=value text on every run. v2 adds the scale-out machinery:
+// a per-block index with zone maps (so predicate scans skip blocks without
+// touching their bytes), dictionary-coded low-cardinality context fields,
+// and a corrupt-block slot in the persisted ledger (so merging compactions
+// conserve every row even across damaged inputs).
 //
 // Layout (all integers little-endian; no padding between sections):
 //
@@ -13,41 +17,72 @@
 //                       action_field:str reward_field:str propensity_field:str
 //                       stale_after_seconds:f64 reward_lo:f64 reward_hi:f64
 //             (str := len:u32 bytes; [str] := count:u32 then strs)
-//   Shard  := Block*           (a contiguous run of blocks; the unit of
-//                               parallel scanning — see footer index)
+//   Shard  := Block* Dict          (a contiguous run of blocks + the shard's
+//                                   context dictionaries — the unit of
+//                                   parallel scanning; see footer index)
 //   Block  := magic:u32("HBLK") rows:u32 Column{5}
 //   Column := bytes:u32 crc32c:u32 payload   (order: time, context, action,
-//             reward, propensity; context is row-major rows*dim values)
-//   Footer := shard_count:u32 ShardIndex{shard_count} Counts
+//             reward, propensity)
+//   Dict   := bytes:u32 crc32c:u32 payload
+//             payload = per context field: count:u32 then count f64 values
+//             (code c of field f decodes to values[c]; count 0 = the field
+//             was never dictionary-coded in this shard)
+//   Footer := shard_count:u32 ShardIndex{shard_count}
+//             BlockIndex{total_blocks} Counts
 //   ShardIndex := offset:u64 first_row:u64 rows:u64 blocks:u32 bytes:u32
+//                 dict_bytes:u32                                (36 bytes)
+//   BlockIndex := bytes:u32 rows:u32 min_time:f64 max_time:f64
+//                 min_action:u32 max_action:u32
+//                 min_propensity:f64 max_propensity:f64         (48 bytes)
+//             (one entry per block, in file order; entry.bytes is the full
+//              framed block size, so a scan can locate — and *skip* — any
+//              block from the trusted footer alone)
 //   Counts := records_seen:u64 decisions_seen:u64 dropped_missing:u64
 //             dropped_bad_action:u64 dropped_bad_propensity:u64
-//             dropped_stale:u64 rows:u64
+//             dropped_stale:u64 dropped_corrupt_block:u64 rows:u64
 //   Trailer:= footer_bytes:u32 footer_crc32c:u32 magic:u32("GOLH")
 //             (fixed 12 bytes at EOF so the footer is locatable backwards)
 //
 // Column encodings (exact — every f64 bit pattern round-trips, including
 // negative zero and NaN payloads, so a scan is byte-identical to the record
 // sequence the writer saw):
-//   f64 columns   : LEB128 varint of bits(v[i]) XOR bits(v[i-1]) (prev=0).
-//                   Constant columns (propensity 1.0 placeholders) collapse
-//                   to one byte per row; slowly varying timestamps share
-//                   exponent/high-mantissa bits and stay short.
+//   time/reward/propensity : LEB128 varint of bits(v[i]) XOR bits(v[i-1])
+//                   (prev=0). Constant columns collapse to one byte per row;
+//                   slowly varying timestamps share exponent/high-mantissa
+//                   bits and stay short.
 //   action column : LEB128 varint of zigzag(i64(v[i]) - i64(v[i-1])).
+//   context column: field-major. One tag byte per field (0=raw, 1=dict),
+//                   then per field either the raw XOR-prev f64 stream or a
+//                   delta-zigzag stream of u32 dictionary codes. A field is
+//                   dictionary-coded while its shard-local cardinality stays
+//                   within WriterOptions::max_dict_entries; past that the
+//                   writer falls back to raw for the remaining blocks.
 //
-// Integrity: every column payload carries its own CRC32C; a mismatch
-// quarantines the enclosing *block* (its rows are dropped and ledgered as
-// QuarantineClass::kCorruptBlock) while the rest of the shard is still
-// read. Header/schema/footer corruption is fatal (without the footer index
-// the blocks cannot be located) and throws on open.
+// Zone maps: every block index entry carries min/max timestamp, min/max
+// action id, and the propensity range of its rows. A ScanPredicate consults
+// them to prune blocks that cannot match, without reading the block bytes.
+// A NaN value in a zone-mapped column widens that zone to (-inf, +inf) so
+// pruning never produces a false negative.
+//
+// Integrity: every column payload and the shard dictionary carry their own
+// CRC32C; a mismatch quarantines the enclosing *block* (its rows are dropped
+// and ledgered as QuarantineClass::kCorruptBlock) while the rest of the
+// shard is still read — the trusted per-block index relocates every later
+// block even when a block's own framing is damaged. A corrupt dictionary
+// costs exactly the blocks that used dictionary codes. Header/schema/footer
+// corruption is fatal (without the footer index the blocks cannot be
+// located) and throws on open.
 //
 // Versioning rules: the major version in the header is bumped on any layout
-// or encoding change; readers reject versions they do not know. New columns
-// may only be appended (readers skip unknown trailing columns by their
-// length prefix — the per-column bytes field exists for exactly this).
+// or encoding change; readers reject versions they do not know (v1 corpora
+// must be recompacted from their source text). New columns may only be
+// appended (readers skip unknown trailing columns by their length prefix —
+// the per-column bytes field exists for exactly this).
 #pragma once
 
 #include <cstdint>
+#include <limits>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -57,13 +92,18 @@ namespace harvest::store {
 inline constexpr std::uint32_t kFileMagic = 0x474F4C48;    // "HLOG"
 inline constexpr std::uint32_t kBlockMagic = 0x4B4C4248;   // "HBLK"
 inline constexpr std::uint32_t kTrailerMagic = 0x484C4F47; // "GOLH"
-inline constexpr std::uint16_t kFormatVersion = 1;
+inline constexpr std::uint16_t kFormatVersion = 2;
 
 inline constexpr std::size_t kHeaderBytes = 16;
 inline constexpr std::size_t kTrailerBytes = 12;
 inline constexpr std::size_t kNumColumns = 5;
-inline constexpr std::size_t kShardIndexBytes = 32;
-inline constexpr std::size_t kCountsBytes = 56;
+inline constexpr std::size_t kShardIndexBytes = 36;
+inline constexpr std::size_t kBlockIndexBytes = 48;
+inline constexpr std::size_t kCountsBytes = 64;
+
+/// Context-column encoding tags (one byte per field per block).
+inline constexpr std::uint8_t kContextRaw = 0;
+inline constexpr std::uint8_t kContextDict = 1;
 
 /// The declarative scavenge schema the corpus was compacted under. A reader
 /// must be scanned with a matching ScavengeSpec — HLOG stores raw (pre-
@@ -85,7 +125,9 @@ struct Schema {
 
 /// Compaction-time ingestion ledger, persisted in the footer so scavenging
 /// an HLOG file reconciles exactly like scavenging the text it came from:
-/// decisions_seen == rows + Σ dropped_*.
+/// decisions_seen == rows + Σ dropped_*. dropped_corrupt_block records rows
+/// that earlier passes (a merging compaction over damaged inputs) already
+/// lost to CRC quarantine — the conservation invariant survives re-packing.
 struct Counts {
   std::uint64_t records_seen = 0;
   std::uint64_t decisions_seen = 0;
@@ -93,22 +135,93 @@ struct Counts {
   std::uint64_t dropped_bad_action = 0;
   std::uint64_t dropped_bad_propensity = 0;
   std::uint64_t dropped_stale_timestamp = 0;
+  std::uint64_t dropped_corrupt_block = 0;
   std::uint64_t rows = 0;
+
+  std::uint64_t total_dropped() const {
+    return dropped_missing_fields + dropped_bad_action +
+           dropped_bad_propensity + dropped_stale_timestamp +
+           dropped_corrupt_block;
+  }
+
+  /// Memberwise sum — the ledger of a dataset or a merged output.
+  Counts& operator+=(const Counts& other);
+
+  bool operator==(const Counts&) const = default;
 };
 
 /// One footer index entry: where a shard's blocks live and which absolute
 /// row range they decode into. first_row/rows let the reader pre-size its
-/// output and scan shards in parallel into disjoint slots.
+/// output and scan shards in parallel into disjoint slots. The shard's
+/// dictionary section occupies the trailing dict_bytes of [offset,
+/// offset + bytes).
 struct ShardIndexEntry {
   std::uint64_t offset = 0;     ///< file offset of the shard's first block
   std::uint64_t first_row = 0;
   std::uint64_t rows = 0;
   std::uint32_t blocks = 0;
-  std::uint32_t bytes = 0;      ///< total encoded bytes of the shard
+  std::uint32_t bytes = 0;      ///< total encoded bytes incl. dictionary
+  std::uint32_t dict_bytes = 0; ///< trailing dictionary section size
+};
+
+/// Per-block statistics a predicate can refute without decoding the block.
+/// Ranges are inclusive; a NaN row value widens its range to (-inf, +inf)
+/// so zone pruning is always conservative.
+struct ZoneMap {
+  double min_time = std::numeric_limits<double>::infinity();
+  double max_time = -std::numeric_limits<double>::infinity();
+  std::uint32_t min_action = std::numeric_limits<std::uint32_t>::max();
+  std::uint32_t max_action = 0;
+  double min_propensity = std::numeric_limits<double>::infinity();
+  double max_propensity = -std::numeric_limits<double>::infinity();
+};
+
+/// One per-block footer index entry: the block's framed byte size (its file
+/// position is the running sum within the shard), its row count, and its
+/// zone map.
+struct BlockIndexEntry {
+  std::uint32_t bytes = 0;
+  std::uint32_t rows = 0;
+  ZoneMap zone;
+};
+
+/// A conjunctive scan filter over the zone-mapped columns. Block-level
+/// `admits` is exact with respect to row-level `matches`: a pruned block
+/// can contain no matching row, so a predicate scan equals a full scan
+/// followed by a row filter, bit for bit. Time and propensity bounds are
+/// inclusive; NaN row values pass every range bound (they are never
+/// excluded by pruning either — see ZoneMap).
+struct ScanPredicate {
+  double min_time = -std::numeric_limits<double>::infinity();
+  double max_time = std::numeric_limits<double>::infinity();
+  std::optional<std::uint32_t> action;  ///< keep only this action id
+  double min_propensity = -std::numeric_limits<double>::infinity();
+  double max_propensity = std::numeric_limits<double>::infinity();
+
+  /// True when the predicate cannot reject anything (the default): the scan
+  /// skips both pruning and row filtering entirely.
+  bool trivial() const;
+
+  /// Could a block with this zone map contain a matching row?
+  bool admits(const ZoneMap& zone) const;
+
+  /// Does one decoded row match?
+  bool matches(double time, std::uint32_t action_id, double propensity) const;
+
+  /// Human-readable form for tool output ("time>=5 action==2"; "all" when
+  /// trivial).
+  std::string describe() const;
 };
 
 /// Format autodetection: true when `bytes` begins with the HLOG file magic
 /// (the cheap check consumers use to route a corpus to the right reader).
 bool is_hlog(std::string_view bytes);
+
+/// Serializes the v2 footer + trailer (shared by Writer and the merging
+/// compactor, which stitches pre-encoded shard regions under a new footer).
+/// `counts.rows` must already equal the shard index row total.
+std::string encode_footer_and_trailer(
+    const std::vector<ShardIndexEntry>& shards,
+    const std::vector<BlockIndexEntry>& blocks, const Counts& counts);
 
 }  // namespace harvest::store

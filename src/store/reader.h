@@ -1,16 +1,24 @@
 // HLOG reader: maps a compacted corpus and scans its column blocks in
 // parallel. The scan is byte-identical for any thread count — shards decode
 // into pre-assigned row slots of one output buffer (the footer index gives
-// every shard its absolute row range), and quarantine gaps are compacted in
-// shard order afterwards.
+// every shard its absolute row range), and quarantine/prune gaps are
+// compacted in shard order afterwards.
 //
-// Corruption policy: every column payload is CRC32C-verified before decode.
-// A mismatch drops the enclosing block only — its rows are reported in
-// `ScanResult::quarantined` and the rest of the shard is still read. A
-// corrupted block *header* (unlocatable framing) costs the remainder of
-// that one shard. Header, schema, or footer corruption is fatal at open:
-// without the trusted footer index nothing can be located, so the reader
-// refuses the file instead of guessing.
+// Predicate pushdown: scan(ScanPredicate) consults the per-block zone maps
+// from the footer index and skips blocks that cannot contain a matching row
+// without touching their bytes, then row-filters the blocks it does decode.
+// The result is bit-identical to a full scan followed by the same row
+// filter.
+//
+// Corruption policy: every column payload and the shard dictionary are
+// CRC32C-verified before decode. A mismatch drops the enclosing block only —
+// its rows are reported in `ScanResult::quarantined` and the rest of the
+// shard is still read; the trusted footer block index locates every block
+// independently, so even damaged framing costs one block, and a corrupt
+// dictionary costs exactly the blocks that used dictionary codes. Header,
+// schema, or footer corruption is fatal at open: without the trusted footer
+// index nothing can be located, so the reader refuses the file instead of
+// guessing.
 #pragma once
 
 #include <cstdint>
@@ -34,8 +42,9 @@ struct QuarantinedBlock {
   std::string reason;  ///< "crc_mismatch:<column>" | "bad_block_header" | ...
 };
 
-/// Decoded columns of every healthy block, in writer order. Quarantine gaps
-/// are already compacted away: row i of every column is the same decision.
+/// Decoded columns of every healthy (and, under a predicate, matching) row,
+/// in writer order. Quarantine and prune gaps are already compacted away:
+/// row i of every column is the same decision.
 struct ScanResult {
   std::vector<double> time;
   std::vector<double> context;  ///< row-major, rows() * context_dim
@@ -43,7 +52,9 @@ struct ScanResult {
   std::vector<double> reward;
   std::vector<double> propensity;
   std::size_t context_dim = 0;
-  std::size_t blocks_read = 0;  ///< blocks that decoded cleanly
+  std::size_t blocks_read = 0;    ///< blocks that decoded cleanly
+  std::size_t blocks_pruned = 0;  ///< blocks skipped via zone maps
+  std::uint64_t rows_pruned = 0;  ///< rows inside pruned blocks
   std::vector<QuarantinedBlock> quarantined;
 
   std::size_t rows() const { return time.size(); }
@@ -57,17 +68,23 @@ struct ScanResult {
 class Reader {
  public:
   /// mmaps `path` and validates header, schema, and footer (CRC-checked).
-  /// Throws std::runtime_error on anything unreadable.
+  /// Throws std::runtime_error naming the path on anything unreadable.
   static Reader open(const std::string& path);
 
   /// Takes ownership of an in-memory HLOG image (tests, benches, and the
-  /// autodetection path that already slurped the file).
-  static Reader from_memory(std::string bytes);
+  /// autodetection path that already slurped the file). `origin` names the
+  /// image in error messages and quarantine reports.
+  static Reader from_memory(std::string bytes,
+                            const std::string& origin = "<memory>");
 
   const Schema& schema() const { return schema_; }
   const Counts& counts() const { return counts_; }
   const std::vector<ShardIndexEntry>& shards() const { return shards_; }
-  std::size_t num_blocks() const;
+  /// Per-block footer index (file order), zone maps included.
+  const std::vector<BlockIndexEntry>& blocks() const { return blocks_; }
+  /// The path (or "<memory>") this reader was opened from.
+  const std::string& origin() const { return origin_; }
+  std::size_t num_blocks() const { return blocks_.size(); }
   std::uint64_t rows() const { return counts_.rows; }
   std::size_t file_bytes() const { return data_.size(); }
   /// True when backed by an mmap (vs an owned in-memory buffer).
@@ -79,16 +96,26 @@ class Reader {
   /// store_scan_ms histogram, under one "store.scan" span.
   ScanResult scan(par::ThreadPool* pool = par::default_pool()) const;
 
+  /// Predicate scan: zone maps prune non-matching blocks (counted in
+  /// store_blocks_pruned_total / store_blocks_scanned_total and emitted as
+  /// "store.prune_block" flight-recorder instants), decoded blocks are
+  /// row-filtered. Bit-identical to scan() followed by the same filter.
+  ScanResult scan(const ScanPredicate& predicate,
+                  par::ThreadPool* pool = par::default_pool()) const;
+
  private:
   Reader() = default;
-  void parse(const std::string& origin);
+  void parse();
 
   MappedFile map_;
   std::string owned_;
   std::string_view data_;
+  std::string origin_;
   Schema schema_;
   Counts counts_;
   std::vector<ShardIndexEntry> shards_;
+  std::vector<BlockIndexEntry> blocks_;
+  std::vector<std::size_t> block_base_;  ///< first global block per shard
 };
 
 }  // namespace harvest::store

@@ -1,10 +1,13 @@
 // Umbrella header for the HLOG binary columnar store: format constants and
-// schema types, CRC32C, the streaming writer, the mmap scanning reader, and
-// the deterministic block corrupter used by chaos tests.
+// schema types, CRC32C, the streaming writer, the mmap scanning reader,
+// partitioned datasets (manifest + many shard files), the parallel merging
+// compactor, and the deterministic block corrupter used by chaos tests.
 #pragma once
 
 #include "store/chaos.h"
+#include "store/compactor.h"
 #include "store/crc32c.h"
+#include "store/dataset.h"
 #include "store/format.h"
 #include "store/mmap_file.h"
 #include "store/reader.h"

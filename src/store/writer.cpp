@@ -1,5 +1,8 @@
 #include "store/writer.h"
 
+#include <bit>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "obs/metrics.h"
@@ -23,6 +26,20 @@ std::string encode_schema(const Schema& schema) {
   return out;
 }
 
+std::string encode_header_and_schema(const Schema& schema) {
+  std::string head;
+  put_u32(head, kFileMagic);
+  put_u16(head, kFormatVersion);
+  put_u16(head, 0);  // flags
+  put_u32(head, schema.num_actions);
+  put_u32(head, static_cast<std::uint32_t>(schema.context_fields.size()));
+  const std::string payload = encode_schema(schema);
+  put_u32(head, static_cast<std::uint32_t>(payload.size()));
+  put_u32(head, crc32c(payload));
+  head += payload;
+  return head;
+}
+
 Writer::Writer(std::ostream& out, Schema schema, WriterOptions options)
     : out_(out), schema_(std::move(schema)), options_(options) {
   if (schema_.decision_event.empty()) {
@@ -35,17 +52,9 @@ Writer::Writer(std::ostream& out, Schema schema, WriterOptions options)
     throw std::invalid_argument(
         "store::Writer: rows_per_block and blocks_per_shard must be positive");
   }
+  dicts_.resize(schema_.context_fields.size());
 
-  std::string head;
-  put_u32(head, kFileMagic);
-  put_u16(head, kFormatVersion);
-  put_u16(head, 0);  // flags
-  put_u32(head, schema_.num_actions);
-  put_u32(head, static_cast<std::uint32_t>(schema_.context_fields.size()));
-  const std::string payload = encode_schema(schema_);
-  put_u32(head, static_cast<std::uint32_t>(payload.size()));
-  put_u32(head, crc32c(payload));
-  head += payload;
+  const std::string head = encode_header_and_schema(schema_);
   out_.write(head.data(), static_cast<std::streamsize>(head.size()));
   offset_ = head.size();
   shard_offset_ = offset_;
@@ -79,10 +88,87 @@ void Writer::add(double time, std::span<const double> context,
   if (time_.size() >= options_.rows_per_block) flush_block();
 }
 
+// Field-major: one tag byte per field, then the field's stream. A field is
+// dictionary-coded while its shard-local cardinality fits max_dict_entries;
+// the first block that would overflow rolls back the entries it tentatively
+// added (they are exactly the tail of the insertion-ordered value list) and
+// the field stays raw for the rest of the shard.
+void Writer::encode_context_column(std::string& out) {
+  const std::size_t dim = schema_.context_fields.size();
+  const std::size_t rows = time_.size();
+  for (std::size_t f = 0; f < dim; ++f) {
+    DictBuilder& dict = dicts_[f];
+    bool use_dict = !dict.overflowed && options_.max_dict_entries > 0;
+    if (use_dict) {
+      code_scratch_.clear();
+      const std::size_t snapshot = dict.values.size();
+      for (std::size_t i = 0; i < rows; ++i) {
+        const double v = context_[i * dim + f];
+        const std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+        const auto it = dict.code_of.find(bits);
+        if (it != dict.code_of.end()) {
+          code_scratch_.push_back(it->second);
+          continue;
+        }
+        if (dict.values.size() >= options_.max_dict_entries) {
+          use_dict = false;
+          dict.overflowed = true;
+          for (std::size_t j = snapshot; j < dict.values.size(); ++j) {
+            dict.code_of.erase(std::bit_cast<std::uint64_t>(dict.values[j]));
+          }
+          dict.values.resize(snapshot);
+          break;
+        }
+        const auto code = static_cast<std::uint32_t>(dict.values.size());
+        dict.code_of.emplace(bits, code);
+        dict.values.push_back(v);
+        code_scratch_.push_back(code);
+      }
+    }
+    if (use_dict) {
+      out.push_back(static_cast<char>(kContextDict));
+      encode_u32_column(code_scratch_, out);
+    } else {
+      out.push_back(static_cast<char>(kContextRaw));
+      encode_f64_stream(context_.data() + f, rows, dim, out);
+    }
+  }
+}
+
 void Writer::flush_block() {
   if (time_.empty()) return;
   obs::ScopedSpan span("store.write_block");
   const auto rows = static_cast<std::uint32_t>(time_.size());
+
+  ZoneMap zone;
+  bool time_nan = false;
+  bool prop_nan = false;
+  for (std::size_t i = 0; i < time_.size(); ++i) {
+    if (std::isnan(time_[i])) {
+      time_nan = true;
+    } else {
+      zone.min_time = std::min(zone.min_time, time_[i]);
+      zone.max_time = std::max(zone.max_time, time_[i]);
+    }
+    if (std::isnan(propensity_[i])) {
+      prop_nan = true;
+    } else {
+      zone.min_propensity = std::min(zone.min_propensity, propensity_[i]);
+      zone.max_propensity = std::max(zone.max_propensity, propensity_[i]);
+    }
+    zone.min_action = std::min(zone.min_action, action_[i]);
+    zone.max_action = std::max(zone.max_action, action_[i]);
+  }
+  // A NaN (or an all-NaN column, which would leave the range inverted)
+  // widens the zone to "anything" so pruning stays conservative.
+  if (time_nan || zone.min_time > zone.max_time) {
+    zone.min_time = -std::numeric_limits<double>::infinity();
+    zone.max_time = std::numeric_limits<double>::infinity();
+  }
+  if (prop_nan || zone.min_propensity > zone.max_propensity) {
+    zone.min_propensity = -std::numeric_limits<double>::infinity();
+    zone.max_propensity = std::numeric_limits<double>::infinity();
+  }
 
   std::string block;
   put_u32(block, kBlockMagic);
@@ -95,7 +181,7 @@ void Writer::flush_block() {
     block += scratch_;
   };
   column([&](std::string& out) { encode_f64_column(time_, out); });
-  column([&](std::string& out) { encode_f64_column(context_, out); });
+  column([&](std::string& out) { encode_context_column(out); });
   column([&](std::string& out) { encode_u32_column(action_, out); });
   column([&](std::string& out) { encode_f64_column(reward_, out); });
   column([&](std::string& out) { encode_f64_column(propensity_, out); });
@@ -104,6 +190,8 @@ void Writer::flush_block() {
   offset_ += block.size();
   shard_rows_ += rows;
   ++shard_blocks_;
+  block_index_.push_back(
+      {static_cast<std::uint32_t>(block.size()), rows, zone});
   obs::Registry::global().counter("store_blocks_written_total").add(1.0);
 
   time_.clear();
@@ -117,12 +205,33 @@ void Writer::flush_block() {
 
 void Writer::close_shard() {
   if (shard_blocks_ == 0) return;
+
+  // Dictionary section: per context field, count + the insertion-ordered
+  // values (count 0 when the field was never dictionary-coded this shard).
+  scratch_.clear();
+  for (auto& dict : dicts_) {
+    put_u32(scratch_, static_cast<std::uint32_t>(dict.values.size()));
+    for (const double v : dict.values) put_f64(scratch_, v);
+  }
+  std::string section;
+  put_u32(section, static_cast<std::uint32_t>(scratch_.size()));
+  put_u32(section, crc32c(scratch_));
+  section += scratch_;
+  out_.write(section.data(), static_cast<std::streamsize>(section.size()));
+  offset_ += section.size();
+  for (auto& dict : dicts_) {
+    dict.code_of.clear();
+    dict.values.clear();
+    dict.overflowed = false;
+  }
+
   ShardIndexEntry entry;
   entry.offset = shard_offset_;
   entry.first_row = shard_first_row_;
   entry.rows = shard_rows_;
   entry.blocks = shard_blocks_;
   entry.bytes = static_cast<std::uint32_t>(offset_ - shard_offset_);
+  entry.dict_bytes = static_cast<std::uint32_t>(section.size());
   shards_.push_back(entry);
   shard_offset_ = offset_;
   shard_first_row_ += shard_rows_;
@@ -137,29 +246,9 @@ void Writer::finish() {
   finished_ = true;
 
   counts_.rows = rows_written_;
-  std::string footer;
-  put_u32(footer, static_cast<std::uint32_t>(shards_.size()));
-  for (const auto& shard : shards_) {
-    put_u64(footer, shard.offset);
-    put_u64(footer, shard.first_row);
-    put_u64(footer, shard.rows);
-    put_u32(footer, shard.blocks);
-    put_u32(footer, shard.bytes);
-  }
-  put_u64(footer, counts_.records_seen);
-  put_u64(footer, counts_.decisions_seen);
-  put_u64(footer, counts_.dropped_missing_fields);
-  put_u64(footer, counts_.dropped_bad_action);
-  put_u64(footer, counts_.dropped_bad_propensity);
-  put_u64(footer, counts_.dropped_stale_timestamp);
-  put_u64(footer, counts_.rows);
-
-  std::string trailer;
-  put_u32(trailer, static_cast<std::uint32_t>(footer.size()));
-  put_u32(trailer, crc32c(footer));
-  put_u32(trailer, kTrailerMagic);
-  out_.write(footer.data(), static_cast<std::streamsize>(footer.size()));
-  out_.write(trailer.data(), static_cast<std::streamsize>(trailer.size()));
+  const std::string tail =
+      encode_footer_and_trailer(shards_, block_index_, counts_);
+  out_.write(tail.data(), static_cast<std::streamsize>(tail.size()));
   out_.flush();
   if (!out_) {
     throw std::runtime_error("store::Writer: stream write failed");

@@ -3,12 +3,16 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "store/crc32c.h"
+#include "store/dataset.h"
 #include "store/encoding.h"
 #include "store/format.h"
+#include "util/rng.h"
 
 namespace harvest::store {
 namespace {
@@ -37,6 +41,41 @@ TEST(Crc32cTest, DetectsSingleBitFlip) {
     std::string bad = data;
     bad[byte] = static_cast<char>(bad[byte] ^ 0x01);
     EXPECT_NE(crc32c(bad), clean);
+  }
+}
+
+TEST(Crc32cTest, SoftwareFallbackMatchesKnownVectors) {
+  // The slice-by-4 table path must hold the same vectors on its own — it is
+  // the cross-check oracle for the hardware path below.
+  EXPECT_EQ(crc32c_software("123456789"), 0xE3069283u);
+  EXPECT_EQ(crc32c_software(""), 0u);
+  EXPECT_EQ(crc32c_software(std::string(32, '\0')), 0x8A9136AAu);
+}
+
+TEST(Crc32cTest, DispatchedAndSoftwarePathsAgree) {
+  // crc32c() dispatches to SSE4.2/ARMv8 CRC instructions when the CPU has
+  // them; whatever backend ran, it must agree with the table fallback on
+  // every length class (word loop, 8-byte chunks, byte tails) and seed.
+  EXPECT_FALSE(crc32c_backend().empty());
+  util::Rng rng(20260808);
+  for (const std::size_t len :
+       {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{3},
+        std::size_t{7}, std::size_t{8}, std::size_t{9}, std::size_t{15},
+        std::size_t{16}, std::size_t{63}, std::size_t{64}, std::size_t{65},
+        std::size_t{255}, std::size_t{1024}, std::size_t{4097}}) {
+    std::string buf(len, '\0');
+    for (char& c : buf) {
+      c = static_cast<char>(rng.uniform_index(256));
+    }
+    const auto seed = static_cast<std::uint32_t>(rng.uniform_index(1u << 31));
+    EXPECT_EQ(crc32c(buf, seed), crc32c_software(buf, seed)) << "len " << len;
+    if (len > 3) {
+      // Misaligned start: the hardware path's unaligned loads must not
+      // change the answer.
+      const std::string_view tail(buf.data() + 3, len - 3);
+      EXPECT_EQ(crc32c(tail, seed), crc32c_software(tail, seed))
+          << "len " << len;
+    }
   }
 }
 
@@ -184,6 +223,126 @@ TEST(FormatTest, SchemaEquality) {
   EXPECT_EQ(a, b);
   b.reward_hi = 2.0;
   EXPECT_NE(a, b);
+}
+
+ZoneMap zone(double tmin, double tmax, std::uint32_t amin, std::uint32_t amax,
+             double pmin, double pmax) {
+  ZoneMap z;
+  z.min_time = tmin;
+  z.max_time = tmax;
+  z.min_action = amin;
+  z.max_action = amax;
+  z.min_propensity = pmin;
+  z.max_propensity = pmax;
+  return z;
+}
+
+TEST(FormatTest, TrivialPredicateAdmitsAndMatchesEverything) {
+  const ScanPredicate all;
+  EXPECT_TRUE(all.trivial());
+  EXPECT_EQ(all.describe(), "all");
+  EXPECT_TRUE(all.admits(zone(10, 20, 2, 5, 0.1, 0.5)));
+  EXPECT_TRUE(all.matches(1e300, 7, -3.0));
+  EXPECT_TRUE(all.matches(std::numeric_limits<double>::quiet_NaN(), 0,
+                          std::numeric_limits<double>::quiet_NaN()));
+}
+
+TEST(FormatTest, PredicatePrunesByEveryZoneDimension) {
+  const ZoneMap z = zone(10, 20, 2, 5, 0.1, 0.5);
+
+  ScanPredicate time_after;
+  time_after.min_time = 25;
+  EXPECT_FALSE(time_after.trivial());
+  EXPECT_FALSE(time_after.admits(z));
+  time_after.min_time = 20;  // zone max is inclusive
+  EXPECT_TRUE(time_after.admits(z));
+
+  ScanPredicate time_before;
+  time_before.max_time = 5;
+  EXPECT_FALSE(time_before.admits(z));
+
+  ScanPredicate wrong_action;
+  wrong_action.action = 7;
+  EXPECT_FALSE(wrong_action.admits(z));
+  wrong_action.action = 3;
+  EXPECT_TRUE(wrong_action.admits(z));
+
+  ScanPredicate p_band;
+  p_band.min_propensity = 0.6;
+  EXPECT_FALSE(p_band.admits(z));
+  p_band.min_propensity = 0.3;
+  EXPECT_TRUE(p_band.admits(z));
+}
+
+TEST(FormatTest, NanWidenedZoneIsNeverPruned) {
+  // Writer widens a block's zone to ±inf when it saw a NaN value; no
+  // predicate may prune such a block, else pruned != filtered.
+  const double inf = std::numeric_limits<double>::infinity();
+  const ZoneMap widened = zone(-inf, inf, 0, 0, -inf, inf);
+  ScanPredicate narrow;
+  narrow.min_time = 1e9;
+  narrow.max_time = 1e9 + 1;
+  narrow.min_propensity = 0.999;
+  EXPECT_TRUE(narrow.admits(widened));
+}
+
+TEST(FormatTest, NanRowPassesRangeFiltersButNotActionEquality) {
+  // Row filters are negated comparisons: NaN fails every ordered compare,
+  // so a NaN time/propensity row survives range predicates (matching what a
+  // post-hoc filter built the same way would keep).
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  ScanPredicate range;
+  range.min_time = 100;
+  range.max_propensity = 0.5;
+  EXPECT_TRUE(range.matches(nan, 0, nan));
+  EXPECT_FALSE(range.matches(50, 0, 0.25));
+
+  ScanPredicate only2;
+  only2.action = 2;
+  EXPECT_TRUE(only2.matches(nan, 2, nan));
+  EXPECT_FALSE(only2.matches(nan, 3, nan));
+}
+
+TEST(FormatTest, ManifestJsonRoundTrips) {
+  Manifest manifest;
+  manifest.version = kManifestVersion;
+  manifest.counts.records_seen = 100;
+  manifest.counts.decisions_seen = 90;
+  manifest.counts.dropped_missing_fields = 3;
+  manifest.counts.dropped_bad_action = 2;
+  manifest.counts.dropped_bad_propensity = 1;
+  manifest.counts.dropped_stale_timestamp = 4;
+  manifest.counts.dropped_corrupt_block = 5;
+  manifest.counts.rows = 75;
+  Counts part;
+  part.records_seen = 40;
+  part.decisions_seen = 40;
+  part.rows = 40;
+  manifest.shards.push_back({"part-00000.hlog", part});
+  part.rows = 35;
+  part.records_seen = 35;
+  part.decisions_seen = 35;
+  manifest.shards.push_back({"part-00001.hlog", part});
+
+  const Manifest back = Manifest::parse_json(manifest.to_json(), "test");
+  EXPECT_EQ(back.version, manifest.version);
+  EXPECT_EQ(back.counts, manifest.counts);
+  ASSERT_EQ(back.shards.size(), manifest.shards.size());
+  for (std::size_t i = 0; i < back.shards.size(); ++i) {
+    EXPECT_EQ(back.shards[i].file, manifest.shards[i].file);
+    EXPECT_EQ(back.shards[i].counts, manifest.shards[i].counts);
+  }
+}
+
+TEST(FormatTest, ManifestRejectsMalformedJson) {
+  EXPECT_THROW(Manifest::parse_json("not json at all", "t"),
+               std::runtime_error);
+  EXPECT_THROW(Manifest::parse_json("{\"hlog_dataset\": 1}", "t"),
+               std::runtime_error);
+  EXPECT_THROW(
+      Manifest::parse_json(
+          "{\"hlog_dataset\": 99, \"counts\": {}, \"shards\": []}", "t"),
+      std::runtime_error);
 }
 
 }  // namespace

@@ -1,0 +1,307 @@
+// Property tests for zone-map predicate pushdown and the parallel merging
+// compactor, over fault-injected corpora:
+//   - a pruned scan must equal full-scan-then-filter bit-exactly, for
+//     random predicates, at 1 and 8 threads, even when blocks are
+//     CRC-corrupted (pruning may skip a corrupt block before reading it,
+//     but the surviving rows must be the same either way);
+//   - merging many damaged shards is byte-deterministic at any thread
+//     count and conserves the quarantine ledger exactly.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "par/thread_pool.h"
+#include "store/store.h"
+#include "util/rng.h"
+
+namespace harvest::store {
+namespace {
+
+struct Row {
+  double time;
+  std::vector<double> context;
+  std::uint32_t action;
+  double reward;
+  double propensity;
+};
+
+Schema test_schema(std::size_t dim) {
+  Schema schema;
+  schema.decision_event = "decide";
+  for (std::size_t i = 0; i < dim; ++i) {
+    schema.context_fields.push_back("f" + std::to_string(i));
+  }
+  schema.action_field = "a";
+  schema.reward_field = "r";
+  schema.propensity_field = "p";
+  schema.num_actions = 8;
+  schema.reward_lo = -2.0;
+  schema.reward_hi = 2.0;
+  return schema;
+}
+
+/// Rows with non-monotone times, a low-cardinality dict-coded field, and a
+/// sprinkle of NaN times/propensities — the values that stress the
+/// zone-widening convention.
+std::vector<Row> random_rows(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Row row;
+    row.time = (i % 37 == 0) ? nan
+                             : static_cast<double>(i) + rng.uniform(-3.0, 3.0);
+    row.context = {static_cast<double>(rng.uniform_index(5)),
+                   rng.normal(0.0, 10.0)};
+    row.action = static_cast<std::uint32_t>(rng.uniform_index(8));
+    row.reward = rng.uniform(-2.0, 2.0);
+    row.propensity = (i % 41 == 0) ? nan : rng.uniform(0.01, 1.0);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string write_rows(const std::vector<Row>& rows, const Schema& schema,
+                       const WriterOptions& options) {
+  std::ostringstream out;
+  Writer writer(out, schema, options);
+  for (const auto& row : rows) {
+    writer.add(row.time, row.context, row.action, row.reward, row.propensity);
+  }
+  Counts counts;
+  counts.records_seen = rows.size();
+  counts.decisions_seen = rows.size();
+  writer.set_counts(counts);
+  writer.finish();
+  return out.str();
+}
+
+ScanPredicate random_predicate(util::Rng& rng, std::size_t n) {
+  ScanPredicate predicate;
+  if (rng.uniform_index(2) == 0) {
+    predicate.min_time = rng.uniform(0.0, static_cast<double>(n));
+  }
+  if (rng.uniform_index(2) == 0) {
+    const double lo = std::isinf(predicate.min_time) ? 0.0 : predicate.min_time;
+    predicate.max_time = rng.uniform(lo, static_cast<double>(n));
+  }
+  if (rng.uniform_index(3) == 0) {
+    predicate.action = static_cast<std::uint32_t>(rng.uniform_index(8));
+  }
+  if (rng.uniform_index(3) == 0) {
+    predicate.min_propensity = rng.uniform(0.0, 1.0);
+  }
+  return predicate;
+}
+
+/// Full-scan-then-filter: the oracle the pruned scan must reproduce.
+ScanResult filter_scan(const ScanResult& full, const ScanPredicate& pred) {
+  ScanResult out;
+  out.context_dim = full.context_dim;
+  for (std::size_t i = 0; i < full.rows(); ++i) {
+    if (!pred.matches(full.time[i], full.action[i], full.propensity[i])) {
+      continue;
+    }
+    out.time.push_back(full.time[i]);
+    out.action.push_back(full.action[i]);
+    out.reward.push_back(full.reward[i]);
+    out.propensity.push_back(full.propensity[i]);
+    out.context.insert(out.context.end(),
+                       full.context.begin() +
+                           static_cast<std::ptrdiff_t>(i * full.context_dim),
+                       full.context.begin() + static_cast<std::ptrdiff_t>(
+                                                  (i + 1) * full.context_dim));
+  }
+  return out;
+}
+
+void expect_same_columns(const ScanResult& got, const ScanResult& want,
+                         const std::string& label) {
+  ASSERT_EQ(got.rows(), want.rows()) << label;
+  const auto bits_equal = [&](const std::vector<double>& a,
+                              const std::vector<double>& b,
+                              const char* column) {
+    ASSERT_EQ(a.size(), b.size()) << label << " " << column;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(std::bit_cast<std::uint64_t>(a[i]),
+                std::bit_cast<std::uint64_t>(b[i]))
+          << label << " " << column << " row " << i;
+    }
+  };
+  bits_equal(got.time, want.time, "time");
+  bits_equal(got.context, want.context, "context");
+  bits_equal(got.reward, want.reward, "reward");
+  bits_equal(got.propensity, want.propensity, "propensity");
+  EXPECT_EQ(got.action, want.action) << label;
+}
+
+TEST(StorePruningPropertyTest, PrunedScanEqualsFilteredScanOnDamagedCorpora) {
+  const Schema schema = test_schema(2);
+  par::ThreadPool pool(8);
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const std::size_t n = 900 + seed * 101;
+    const auto rows = random_rows(n, seed);
+    std::string bytes = write_rows(
+        rows, schema, {.rows_per_block = 48, .blocks_per_shard = 3});
+    // Damage ~20% of the blocks (framing and footer survive, so zone maps
+    // stay trusted and the rest of each shard is readable).
+    const CorruptionReport damage = corrupt_blocks(bytes, seed, 0.2);
+    ASSERT_GT(damage.blocks_corrupted, 0u);
+
+    const Reader reader = Reader::from_memory(bytes);
+    const ScanResult full = reader.scan(nullptr);
+    EXPECT_EQ(full.rows() + full.rows_quarantined(), rows.size());
+    EXPECT_EQ(full.quarantined.size(), damage.blocks_corrupted);
+
+    util::Rng rng(seed * 7919);
+    for (int trial = 0; trial < 8; ++trial) {
+      const ScanPredicate predicate = random_predicate(rng, n);
+      const ScanResult expected = filter_scan(full, predicate);
+      const ScanResult sequential = reader.scan(predicate, nullptr);
+      const ScanResult parallel = reader.scan(predicate, &pool);
+      expect_same_columns(sequential, expected,
+                          "seq [" + predicate.describe() + "]");
+      expect_same_columns(parallel, expected,
+                          "par [" + predicate.describe() + "]");
+      // Thread count must not change what was pruned or quarantined.
+      EXPECT_EQ(parallel.blocks_pruned, sequential.blocks_pruned);
+      EXPECT_EQ(parallel.rows_pruned, sequential.rows_pruned);
+      ASSERT_EQ(parallel.quarantined.size(), sequential.quarantined.size());
+      for (std::size_t q = 0; q < parallel.quarantined.size(); ++q) {
+        EXPECT_EQ(parallel.quarantined[q].block,
+                  sequential.quarantined[q].block);
+      }
+      // A pruned scan may skip damaged blocks before reading them, so its
+      // quarantine list is a subset of the full scan's — never larger.
+      EXPECT_LE(sequential.quarantined.size(), full.quarantined.size());
+    }
+  }
+}
+
+TEST(StorePruningPropertyTest, ZoneMapsActuallyPrune) {
+  // Monotone time + a narrow window ⇒ most blocks must be skipped, and the
+  // skipped rows accounted.
+  std::vector<Row> rows;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    rows.push_back(Row{static_cast<double>(i),
+                       {0.0, 1.0},
+                       static_cast<std::uint32_t>(i % 8),
+                       0.5,
+                       0.5});
+  }
+  const std::string bytes = write_rows(
+      rows, test_schema(2), {.rows_per_block = 50, .blocks_per_shard = 4});
+  const Reader reader = Reader::from_memory(bytes);
+  ScanPredicate last_tenth;
+  last_tenth.min_time = 900.0;
+  const ScanResult scan = reader.scan(last_tenth);
+  EXPECT_EQ(scan.rows(), 100u);
+  EXPECT_EQ(scan.blocks_pruned, 18u);  // 20 blocks, 2 admit time >= 900
+  EXPECT_EQ(scan.rows_pruned, 900u);
+}
+
+TEST(StorePruningPropertyTest, MergeIsDeterministicAndConservesLedger) {
+  const Schema schema = test_schema(2);
+  par::ThreadPool pool(8);
+  for (const std::uint64_t seed : {5ull, 6ull}) {
+    // Several small shard files, some damaged, one carrying a pre-existing
+    // corrupt-block ledger from an earlier merge generation.
+    std::vector<std::string> images;
+    std::uint64_t total_rows = 0;
+    for (std::size_t part = 0; part < 5; ++part) {
+      const auto rows = random_rows(200 + part * 37, seed * 10 + part);
+      total_rows += rows.size();
+      std::string bytes = write_rows(
+          rows, schema, {.rows_per_block = 32, .blocks_per_shard = 2});
+      if (part % 2 == 1) {
+        corrupt_blocks(bytes, seed + part, 0.25);
+      }
+      images.push_back(std::move(bytes));
+    }
+
+    std::vector<std::unique_ptr<Reader>> readers;
+    std::vector<const Reader*> inputs;
+    for (auto& image : images) {
+      readers.push_back(
+          std::make_unique<Reader>(Reader::from_memory(image)));
+      inputs.push_back(readers.back().get());
+    }
+
+    const WriterOptions options{.rows_per_block = 64, .blocks_per_shard = 3};
+    std::ostringstream seq_out(std::ios::binary);
+    const MergeReport seq_report =
+        merge_readers(inputs, seq_out, options, nullptr);
+    std::ostringstream par_out(std::ios::binary);
+    const MergeReport par_report =
+        merge_readers(inputs, par_out, options, &pool);
+
+    EXPECT_EQ(seq_out.str(), par_out.str())
+        << "merge bytes differ between 1 and 8 threads";
+    EXPECT_TRUE(seq_report.conserved());
+    EXPECT_TRUE(par_report.conserved());
+    EXPECT_EQ(seq_report.rows_kept + seq_report.rows_quarantined, total_rows);
+
+    // The merged file re-opens, carries the summed ledger, and scans to
+    // exactly the concatenation of the inputs' surviving rows.
+    const Reader merged = Reader::from_memory(seq_out.str());
+    EXPECT_EQ(merged.rows(), seq_report.rows_kept);
+    EXPECT_EQ(merged.counts().dropped_corrupt_block,
+              seq_report.rows_quarantined);
+    ScanResult expected;
+    expected.context_dim = 2;
+    for (const Reader* reader : inputs) {
+      const ScanResult scan = reader->scan(nullptr);
+      expected.time.insert(expected.time.end(), scan.time.begin(),
+                           scan.time.end());
+      expected.context.insert(expected.context.end(), scan.context.begin(),
+                              scan.context.end());
+      expected.action.insert(expected.action.end(), scan.action.begin(),
+                             scan.action.end());
+      expected.reward.insert(expected.reward.end(), scan.reward.begin(),
+                             scan.reward.end());
+      expected.propensity.insert(expected.propensity.end(),
+                                 scan.propensity.begin(),
+                                 scan.propensity.end());
+    }
+    const ScanResult merged_scan = merged.scan(nullptr);
+    EXPECT_TRUE(merged_scan.quarantined.empty());
+    expect_same_columns(merged_scan, expected, "merged");
+  }
+}
+
+/// Double merge: merging the merged file again keeps the ledger intact —
+/// dropped_corrupt_block survives generations (the conservation invariant
+/// composes).
+TEST(StorePruningPropertyTest, LedgerSurvivesRepeatedMerging) {
+  const Schema schema = test_schema(2);
+  const auto rows = random_rows(500, 17);
+  std::string bytes =
+      write_rows(rows, schema, {.rows_per_block = 25, .blocks_per_shard = 2});
+  corrupt_blocks(bytes, 99, 0.3);
+
+  const Reader gen0 = Reader::from_memory(bytes);
+  std::ostringstream out1(std::ios::binary);
+  const MergeReport first = merge_readers({&gen0}, out1, {}, nullptr);
+  ASSERT_TRUE(first.conserved());
+  ASSERT_GT(first.rows_quarantined, 0u);
+
+  const Reader gen1 = Reader::from_memory(out1.str());
+  std::ostringstream out2(std::ios::binary);
+  const MergeReport second = merge_readers({&gen1}, out2, {}, nullptr);
+  EXPECT_TRUE(second.conserved());
+  EXPECT_EQ(second.rows_quarantined, 0u) << "gen1 has no damaged blocks";
+  const Reader gen2 = Reader::from_memory(out2.str());
+  EXPECT_EQ(gen2.counts().dropped_corrupt_block, first.rows_quarantined);
+  EXPECT_EQ(gen2.rows(), first.rows_kept);
+}
+
+}  // namespace
+}  // namespace harvest::store

@@ -6,6 +6,8 @@
 
 #include <bit>
 #include <cstring>
+#include <filesystem>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -281,6 +283,106 @@ TEST(StoreRoundTripTest, EmptyCorpusRoundTrips) {
   const ScanResult scan = reader.scan();
   EXPECT_EQ(scan.rows(), 0u);
   EXPECT_TRUE(scan.quarantined.empty());
+}
+
+/// Low-cardinality context fields (with adversarial bit patterns: -0.0 and
+/// NaN as distinct dictionary entries) round-trip bit-exactly through the
+/// dictionary coder, shrink the file, and survive dictionary overflow by
+/// falling back to raw encoding mid-shard.
+TEST(StoreRoundTripTest, DictionaryCodedContextRoundTripsBitExactly) {
+  util::Rng rng(314);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double specials[] = {0.0, -0.0, nan, 1.5, -7.25, 1e300};
+  std::vector<Row> rows;
+  for (std::size_t i = 0; i < 1500; ++i) {
+    Row row;
+    row.time = static_cast<double>(i);
+    // f0: 6 distinct bit patterns (dict-coded); f1: continuous (raw).
+    row.context = {specials[rng.uniform_index(6)], rng.normal(0.0, 100.0)};
+    row.action = static_cast<std::uint32_t>(rng.uniform_index(16));
+    row.reward = rng.uniform(-2.0, 2.0);
+    row.propensity = rng.uniform(1e-6, 1.0);
+    rows.push_back(std::move(row));
+  }
+  const Schema schema = test_schema(2);
+  const std::string dict_bytes = write_rows(
+      rows, schema,
+      {.rows_per_block = 64, .blocks_per_shard = 4, .max_dict_entries = 256});
+  const std::string raw_bytes = write_rows(
+      rows, schema,
+      {.rows_per_block = 64, .blocks_per_shard = 4, .max_dict_entries = 0});
+  EXPECT_LT(dict_bytes.size(), raw_bytes.size())
+      << "dictionary coding should shrink a low-cardinality column";
+
+  for (const std::string* bytes : {&dict_bytes, &raw_bytes}) {
+    const Reader reader = Reader::from_memory(*bytes);
+    const ScanResult scan = reader.scan();
+    ASSERT_EQ(scan.rows(), rows.size());
+    EXPECT_TRUE(scan.quarantined.empty());
+    std::vector<double> context;
+    for (const auto& row : rows) {
+      context.insert(context.end(), row.context.begin(), row.context.end());
+    }
+    expect_bits_equal(scan.context, context, "context");
+  }
+
+  // Overflow: a 4-entry budget against 6+ distinct values trips the
+  // rollback-and-go-raw path partway through a shard; the data must still
+  // round-trip bit-exactly (just without the size win).
+  const std::string overflow_bytes = write_rows(
+      rows, schema,
+      {.rows_per_block = 64, .blocks_per_shard = 4, .max_dict_entries = 4});
+  const Reader reader = Reader::from_memory(overflow_bytes);
+  const ScanResult scan = reader.scan();
+  ASSERT_EQ(scan.rows(), rows.size());
+  EXPECT_TRUE(scan.quarantined.empty());
+  std::vector<double> context;
+  for (const auto& row : rows) {
+    context.insert(context.end(), row.context.begin(), row.context.end());
+  }
+  expect_bits_equal(scan.context, context, "context after overflow");
+}
+
+/// A partitioned dataset round-trips: DatasetWriter rolls part files at the
+/// configured row count, the manifest ledger adds up, and Dataset::scan
+/// returns the same columns as writing everything into one file.
+TEST(StoreRoundTripTest, DatasetRoundTripsAcrossPartFiles) {
+  const auto rows = random_rows(1003, 2, 55);  // prime: ragged last part
+  const Schema schema = test_schema(2);
+  const WriterOptions options{.rows_per_block = 32, .blocks_per_shard = 2};
+  const std::string dir = testing::TempDir() + "hlog_dataset_roundtrip";
+  std::filesystem::remove_all(dir);
+  {
+    DatasetWriter writer(dir, schema, options, 256);
+    for (const auto& row : rows) {
+      writer.add(row.time, row.context, row.action, row.reward,
+                 row.propensity);
+    }
+    writer.finish();
+  }
+  ASSERT_TRUE(is_dataset_dir(dir));
+
+  const Dataset dataset = Dataset::open(dir);
+  EXPECT_EQ(dataset.rows(), rows.size());
+  EXPECT_EQ(dataset.manifest().shards.size(), (rows.size() + 255) / 256);
+  EXPECT_EQ(dataset.schema(), schema);
+  std::uint64_t part_total = 0;
+  for (const auto& shard : dataset.manifest().shards) {
+    part_total += shard.counts.rows;
+  }
+  EXPECT_EQ(part_total, rows.size());
+
+  const ScanResult scan = dataset.scan();
+  const std::string single = write_rows(rows, schema, options);
+  const ScanResult expected = Reader::from_memory(single).scan();
+  ASSERT_EQ(scan.rows(), rows.size());
+  EXPECT_TRUE(scan.quarantined.empty());
+  expect_bits_equal(scan.time, expected.time, "time");
+  expect_bits_equal(scan.context, expected.context, "context");
+  expect_bits_equal(scan.reward, expected.reward, "reward");
+  expect_bits_equal(scan.propensity, expected.propensity, "propensity");
+  EXPECT_EQ(scan.action, expected.action);
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

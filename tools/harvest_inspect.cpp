@@ -1,7 +1,8 @@
 // harvest_inspect — command-line harvesting of a log file (text or HLOG).
 //
-// Point it at any log in the key=value record format — or a binary HLOG
-// corpus produced by harvest_compact — and it will:
+// Point it at any log in the key=value record format — a binary HLOG
+// corpus produced by harvest_compact, or a partitioned dataset directory
+// (MANIFEST.json + part files) — and it will:
 //   1. parse the file (reporting torn/malformed lines), or mmap-scan the
 //      HLOG blocks (reporting CRC-quarantined ones),
 //   2. scavenge ⟨context, action, reward⟩ tuples per your field spec,
@@ -12,17 +13,25 @@
 //      other half.
 //
 // Usage:
-//   harvest_inspect <logfile> --event decide --context x,y --action a
-//                   --reward r --actions 3 [--reward-lo 0 --reward-hi 1]
+//   harvest_inspect <logfile|dataset-dir> --event decide --context x,y
+//                   --action a --reward r --actions 3
+//                   [--reward-lo 0 --reward-hi 1]
 //                   [--format auto|text|hlog] [--diagnostics]
+//                   [--min-time T] [--max-time T] [--only-action A]
 //                   [--trace spans.jsonl] [--inject SPEC] [--inject-seed N]
 //   harvest_inspect --selftest        # generate and process a demo log
 //
 // --format selects the input decoding; `auto` (the default) sniffs the HLOG
-//   magic bytes. HLOG corpora are self-describing, so the field-spec flags
+//   magic bytes of files and recognizes dataset directories by their
+//   MANIFEST.json. HLOG corpora are self-describing, so the field-spec flags
 //   (--event/--context/...) may be omitted — they default to the schema the
 //   corpus was compacted under. --inject is text-only (corrupt HLOG blocks
 //   at compaction time with harvest_compact --corrupt-blocks instead).
+//
+// --min-time/--max-time/--only-action push a scan predicate down to the
+//   zone-mapped binary scan: blocks whose zone maps cannot match are skipped
+//   without touching their bytes, and a pruning summary (blocks pruned vs
+//   scanned) is printed. Binary inputs only — text logs have no zone maps.
 //
 // --diagnostics prints the OPE-health panel: effective sample size,
 //   min propensity, importance-weight tails, and the logging-vs-evaluation
@@ -53,10 +62,13 @@ using namespace harvest;
 
 int usage() {
   std::cerr
-      << "usage: harvest_inspect <logfile> --event EV --context F1,F2,...\n"
-         "                       --action FIELD --reward FIELD --actions N\n"
+      << "usage: harvest_inspect <logfile|dataset-dir> --event EV\n"
+         "                       --context F1,F2,... --action FIELD\n"
+         "                       --reward FIELD --actions N\n"
          "                       [--reward-lo X] [--reward-hi Y]\n"
          "                       [--format auto|text|hlog]\n"
+         "                       [--min-time T] [--max-time T]\n"
+         "                       [--only-action A]\n"
          "                       [--diagnostics] [--trace FILE]\n"
          "                       [--trace-format jsonl|chrome]\n"
          "                       [--inject SPEC] [--inject-seed N]\n"
@@ -156,6 +168,8 @@ int main(int argc, char** argv) {
   spec.reward_transform = [](double r) { return r; };
 
   const bool selftest = flags.get_bool("selftest", false);
+  std::string in_path;
+  bool dataset_input = false;
   if (selftest) {
     text = make_demo_log();
     spec.decision_event = "decide";
@@ -166,32 +180,44 @@ int main(int argc, char** argv) {
     spec.reward_range = {-0.5, 1.5};
   } else {
     if (flags.positional().empty()) return usage();
-    std::ifstream file(flags.positional().front(), std::ios::binary);
-    if (!file) {
-      std::cerr << "cannot open " << flags.positional().front() << "\n";
-      return 1;
+    in_path = flags.positional().front();
+    // A dataset directory cannot be slurped — recognize it by its manifest
+    // before touching the filesystem as a file.
+    dataset_input = format_flag != "text" && store::is_dataset_dir(in_path);
+    if (!dataset_input) {
+      std::ifstream file(in_path, std::ios::binary);
+      if (!file) {
+        std::cerr << "cannot open " << in_path << "\n";
+        return 1;
+      }
+      std::ostringstream buffer;
+      buffer << file.rdbuf();
+      text = buffer.str();
     }
-    std::ostringstream buffer;
-    buffer << file.rdbuf();
-    text = buffer.str();
   }
 
   const bool hlog =
       !selftest &&
-      (format_flag == "hlog" ||
+      (dataset_input || format_flag == "hlog" ||
        (format_flag == "auto" && store::is_hlog(text)));
 
   // An HLOG corpus is self-describing, so the field-spec flags default to
   // its stored schema; a text log has no schema, so they are mandatory.
   std::optional<store::Reader> reader;
+  std::optional<store::Dataset> dataset;
   if (hlog) {
     try {
-      reader.emplace(store::Reader::from_memory(std::move(text)));
+      if (dataset_input) {
+        dataset.emplace(store::Dataset::open(in_path));
+      } else {
+        reader.emplace(store::Reader::from_memory(std::move(text), in_path));
+      }
     } catch (const std::exception& e) {
       std::cerr << "cannot read HLOG: " << e.what() << "\n";
       return 1;
     }
-    const store::Schema& schema = reader->schema();
+    const store::Schema& schema =
+        dataset ? dataset->schema() : reader->schema();
     spec.decision_event = flags.get_string("event", schema.decision_event);
     if (flags.has("context")) {
       for (const auto piece :
@@ -225,6 +251,24 @@ int main(int argc, char** argv) {
     spec.num_actions = static_cast<std::size_t>(flags.get_int("actions", 0));
   }
 
+  // Scan-predicate flags: pushed down to the zone-mapped binary scan.
+  store::ScanPredicate predicate;
+  if (flags.has("min-time")) {
+    predicate.min_time = flags.get_double("min-time", predicate.min_time);
+  }
+  if (flags.has("max-time")) {
+    predicate.max_time = flags.get_double("max-time", predicate.max_time);
+  }
+  if (flags.has("only-action")) {
+    predicate.action =
+        static_cast<std::uint32_t>(flags.get_int("only-action", 0));
+  }
+  if (!predicate.trivial() && !hlog) {
+    std::cerr << "--min-time/--max-time/--only-action need a binary input "
+                 "(text logs have no zone maps to prune against)\n";
+    return 2;
+  }
+
   // Optional chaos rehearsal: corrupt the wire-format text before the
   // hardened read path ever sees it.
   if (flags.has("inject") && hlog) {
@@ -255,7 +299,29 @@ int main(int argc, char** argv) {
 
   // Step 0: parse (streaming text, bounded memory) or mmap-scan (HLOG).
   logs::LogStore log;
-  if (hlog) {
+  if (dataset) {
+    std::cout << "format: hlog dataset v" << store::kManifestVersion
+              << " (hlog v" << store::kFormatVersion << ", "
+              << dataset->manifest().shards.size() << " files, "
+              << dataset->num_blocks() << " blocks, " << dataset->rows()
+              << " rows, " << dataset->file_bytes() << " bytes)\n";
+    for (std::size_t i = 0; i < dataset->manifest().shards.size(); ++i) {
+      const store::ManifestShard& entry = dataset->manifest().shards[i];
+      const store::Reader& part = dataset->readers()[i];
+      std::cout << "  " << entry.file << ": " << part.rows() << " rows, "
+                << part.shards().size() << " shards, " << part.num_blocks()
+                << " blocks, " << part.file_bytes() << " bytes";
+      if (part.counts().total_dropped() > 0) {
+        std::cout << " (" << part.counts().total_dropped()
+                  << " quarantined at compaction)";
+      }
+      std::cout << "\n";
+    }
+    if (dataset->rows() == 0) {
+      std::cerr << "HLOG dataset holds no decision rows\n";
+      return 1;
+    }
+  } else if (hlog) {
     std::cout << "format: hlog v" << store::kFormatVersion << " ("
               << reader->shards().size() << " shards, "
               << reader->num_blocks() << " blocks, " << reader->rows()
@@ -283,6 +349,7 @@ int main(int argc, char** argv) {
   config.estimator = std::make_shared<core::IpsEstimator>();
   config.obs_label = "inspect";
   config.diagnostics_warnings = false;  // surfaced via --diagnostics instead
+  config.scan_predicate = predicate;
 
   std::vector<core::PolicyPtr> candidates;
   for (std::size_t a = 0; a < spec.num_actions; ++a) {
@@ -293,10 +360,12 @@ int main(int argc, char** argv) {
   core::ExplorationDataset data(spec.num_actions, spec.reward_range);
   pipeline::HarvestReport report;
   try {
-    report = hlog ? pipeline::evaluate_candidates(*reader, config,
-                                                  candidates, &data)
-                  : pipeline::evaluate_candidates(log, config, candidates,
-                                                  &data);
+    report = dataset ? pipeline::evaluate_candidates(*dataset, config,
+                                                     candidates, &data)
+             : hlog ? pipeline::evaluate_candidates(*reader, config,
+                                                    candidates, &data)
+                    : pipeline::evaluate_candidates(log, config, candidates,
+                                                    &data);
   } catch (const std::exception& e) {
     std::cerr << "pipeline failed: " << e.what() << "\n";
     return 1;
@@ -304,6 +373,18 @@ int main(int argc, char** argv) {
   std::cout << "decisions: " << report.records_seen << " records seen, "
             << "harvested " << report.decisions_harvested << " tuples, "
             << "dropped " << report.decisions_dropped << "\n";
+  if (!predicate.trivial()) {
+    // One-shot binary, so the global counters are exactly this scan.
+    obs::Registry& registry = obs::Registry::global();
+    const double pruned =
+        registry.counter("store_blocks_pruned_total").value();
+    const double touched =
+        registry.counter("store_blocks_scanned_total").value();
+    std::cout << "pruning: predicate [" << predicate.describe()
+              << "] skipped " << static_cast<std::uint64_t>(pruned) << " of "
+              << static_cast<std::uint64_t>(pruned + touched)
+              << " blocks without touching their bytes\n";
+  }
   if (report.decisions_dropped > 0) {
     std::cout << "quarantine: missing-field " << report.dropped_missing_fields
               << ", bad-action " << report.dropped_bad_action

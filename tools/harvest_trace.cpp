@@ -8,6 +8,7 @@
 //     {"id","parent","name",...} object per line,
 // and reports:
 //   1. per-stage aggregate timings (count / total / mean / max per name),
+//      plus a per-name tally of instant events (e.g. store.prune_block),
 //   2. the top-N slowest individual spans,
 //   3. per-worker utilization and steal balance (from par.task events:
 //      a=stolen flag, b=victim queue),
@@ -58,6 +59,7 @@ struct Span {
 struct Trace {
   std::vector<Span> spans;
   std::map<int, std::string> thread_names;
+  std::map<std::string, std::size_t> instants_by_name;
   std::size_t instants = 0;
   std::size_t counters = 0;
 };
@@ -141,6 +143,7 @@ std::optional<Trace> parse_trace(std::istream& in) {
       }
       if (*ph == "i") {
         ++trace.instants;
+        ++trace.instants_by_name[*name];
         continue;
       }
       if (*ph == "C") {
@@ -321,6 +324,24 @@ int main(int argc, char** argv) {
          format_double(agg.max, 1)});
   }
   stage_table.print(std::cout);
+
+  // 1b. Instant events by name (store.prune_block, fault injections, ...).
+  // Zero-duration marks never show in the timing table, but their counts
+  // are the whole story for events like zone-map pruning.
+  if (!trace.instants_by_name.empty()) {
+    std::vector<std::pair<std::string, std::size_t>> marks(
+        trace.instants_by_name.begin(), trace.instants_by_name.end());
+    std::sort(marks.begin(), marks.end(), [](const auto& x, const auto& y) {
+      if (x.second != y.second) return x.second > y.second;
+      return x.first < y.first;
+    });
+    std::cout << "\n== instant events ==\n";
+    Table instant_table({"event", "count"});
+    for (const auto& [name, count] : marks) {
+      instant_table.add_row({name, std::to_string(count)});
+    }
+    instant_table.print(std::cout);
+  }
 
   // 2. Top-N slowest spans.
   std::vector<std::size_t> slowest(trace.spans.size());
