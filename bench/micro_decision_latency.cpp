@@ -4,12 +4,40 @@
 // neural networks or search based policies ... are too slow". These numbers
 // document that the linear CB policies and estimators used here are fast
 // enough to sit inside a load balancer or cache.
+//
+// Two modes:
+//  - default: the google-benchmark microbenchmark suite below. Context
+//    synthesis happens INSIDE the timed loop into a preallocated buffer, so
+//    context ingestion is part of the measured decide path without adding
+//    heap traffic (earlier revisions built the context once outside the
+//    loop and so never measured it).
+//  - `--serve-throughput`: the serving gate. Spins up a DecisionService
+//    with N decider threads + 1 publisher swapping snapshots + 1 drainer,
+//    measures decisions/sec/core and tail latency, verifies ZERO decide-path
+//    allocations via the harvest_allocgate counting allocator, and writes
+//    BENCH_serve.json. Exits non-zero when a gate fails:
+//      --min-mops     minimum million-decisions/sec/core   (default 1.0)
+//      --max-p99-us   p99 decide latency bound in usec     (default 200)
+//    Other flags: --serve-threads, --serve-seconds, --swap-ms, --actions,
+//    --dim, --epsilon, --seed, --json-out.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <memory>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "harvest/harvest.h"
+#include "serve/alloc_gate.h"
+#include "serve/service.h"
+#include "serve/snapshot.h"
 #include "sim/event_queue.h"
+#include "util/flags.h"
 
 namespace {
 
@@ -21,12 +49,19 @@ core::FeatureVector make_context(std::size_t dim, util::Rng& rng) {
   return core::FeatureVector(std::move(values));
 }
 
+/// Refills a preallocated context in place — the allocation-free way the
+/// timed loops below synthesize a fresh context per decision.
+void refill_context(core::FeatureVector& x, util::Rng& rng) {
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = rng.uniform();
+}
+
 void BM_UniformRandomDecision(benchmark::State& state) {
   const core::UniformRandomPolicy policy(
       static_cast<std::size_t>(state.range(0)));
   util::Rng rng(1);
-  const core::FeatureVector x = make_context(4, rng);
+  core::FeatureVector x = make_context(4, rng);
   for (auto _ : state) {
+    refill_context(x, rng);  // context ingestion is part of the decide path
     benchmark::DoNotOptimize(policy.act(x, rng));
   }
 }
@@ -42,12 +77,46 @@ void BM_LinearGreedyDecision(benchmark::State& state) {
     for (auto& v : w) v = rng.uniform(-1, 1);
   }
   const core::LinearPolicy policy(std::move(weights));
-  const core::FeatureVector x = make_context(dim, rng);
+  core::FeatureVector x = make_context(dim, rng);
   for (auto _ : state) {
+    refill_context(x, rng);
     benchmark::DoNotOptimize(policy.choose(x));
   }
 }
 BENCHMARK(BM_LinearGreedyDecision)->Args({2, 3})->Args({9, 8})->Args({25, 26});
+
+void BM_ServeDecideLogged(benchmark::State& state) {
+  // The full service hot path: hazard acquire, eps-greedy decide, staged
+  // tuple push — what the throughput gate runs multi-threaded.
+  const auto num_actions = static_cast<std::size_t>(state.range(0));
+  const auto dim = static_cast<std::size_t>(state.range(1));
+  util::Rng wrng(3);
+  std::vector<std::vector<double>> weights(num_actions,
+                                           std::vector<double>(dim + 1));
+  for (auto& w : weights) {
+    for (auto& v : w) v = wrng.uniform(-1, 1);
+  }
+  serve::DecisionService service(
+      {.num_actions = num_actions, .dim = dim, .log_capacity = 1 << 12},
+      serve::PolicySnapshot::from_weights(1, weights, 0.1));
+  serve::Decider& decider = service.add_decider();
+  double ctx[serve::kMaxContextDim] = {};
+  util::Rng crng(4);
+  std::uint64_t allocs = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < dim; ++i) ctx[i] = crng.uniform();
+    const serve::AllocGate gate;
+    benchmark::DoNotOptimize(
+        decider.decide_logged(std::span<const double>(ctx, dim), 0.5));
+    allocs += gate.delta();
+    if ((decider.decided() & 0xFFF) == 0) {
+      service.drain([](const serve::DecisionRecord&) {});
+    }
+  }
+  state.counters["decide_path_allocs"] =
+      static_cast<double>(allocs);
+}
+BENCHMARK(BM_ServeDecideLogged)->Args({3, 4})->Args({9, 8});
 
 void BM_RidgeModelPredict(benchmark::State& state) {
   util::Rng rng(3);
@@ -58,8 +127,9 @@ void BM_RidgeModelPredict(benchmark::State& state) {
                   rng.uniform());
   }
   model.fit();
-  const core::FeatureVector x = make_context(8, rng);
+  core::FeatureVector x = make_context(8, rng);
   for (auto _ : state) {
+    refill_context(x, rng);
     benchmark::DoNotOptimize(model.predict(x, 3));
   }
 }
@@ -164,6 +234,216 @@ void BM_LogRecordRoundtrip(benchmark::State& state) {
 }
 BENCHMARK(BM_LogRecordRoundtrip);
 
+// ---- serve throughput gate -------------------------------------------------
+
+struct WorkerResult {
+  std::uint64_t decisions = 0;
+  std::uint64_t allocs = 0;
+  std::vector<double> latency_us;  // sampled, preallocated before measuring
+};
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(p * (v.size() - 1));
+  return v[idx];
+}
+
+int run_serve_throughput(const util::Flags& flags) {
+  const auto threads =
+      static_cast<std::size_t>(flags.get_int("serve-threads", 2));
+  const double seconds = flags.get_double("serve-seconds", 2.0);
+  const auto swap_ms = flags.get_int("swap-ms", 5);
+  const auto num_actions = static_cast<std::size_t>(flags.get_int("actions", 3));
+  const auto dim = static_cast<std::size_t>(flags.get_int("dim", 4));
+  const double epsilon = flags.get_double("epsilon", 0.1);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  const double min_mops = flags.get_double("min-mops", 1.0);
+  const double max_p99_us = flags.get_double("max-p99-us", 200.0);
+  const std::string json_out = flags.get_string("json-out", "");
+
+  util::Rng wrng(seed);
+  std::vector<std::vector<double>> weights(num_actions,
+                                           std::vector<double>(dim + 1));
+  for (auto& w : weights) {
+    for (auto& v : w) v = wrng.uniform(-1, 1);
+  }
+  serve::DecisionService service(
+      {.num_actions = num_actions,
+       .dim = dim,
+       .log_capacity = 1 << 16,
+       .seed = seed},
+      serve::PolicySnapshot::from_weights(1, weights, epsilon));
+
+  std::vector<serve::Decider*> deciders;
+  deciders.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    deciders.push_back(&service.add_decider());
+  }
+
+  // phase: 0 = warmup, 1 = measured, 2 = stop.
+  std::atomic<int> phase{0};
+  std::vector<WorkerResult> results(threads);
+  // Sample every 64th decision's latency, bounded so sampling never
+  // reallocates mid-measurement.
+  const std::size_t max_samples = 1 << 20;
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      serve::Decider& decider = *deciders[t];
+      WorkerResult& out = results[t];
+      out.latency_us.reserve(max_samples);
+      util::Rng crng(util::derive_stream_seed(seed ^ 0x5eedULL, t));
+      double ctx[serve::kMaxContextDim] = {};
+      const std::span<const double> span(ctx, dim);
+      // Warmup: touch the whole path (including ring wraparound) before
+      // the allocation gate arms.
+      while (phase.load(std::memory_order_acquire) == 0) {
+        for (std::size_t i = 0; i < dim; ++i) ctx[i] = crng.uniform();
+        decider.decide_logged(span, 0.5);
+      }
+      const serve::AllocGate gate;
+      std::uint64_t n = 0;
+      while (phase.load(std::memory_order_acquire) == 1) {
+        for (std::size_t i = 0; i < dim; ++i) ctx[i] = crng.uniform();
+        if ((n & 63) == 0 && out.latency_us.size() < max_samples) {
+          const auto t0 = std::chrono::steady_clock::now();
+          decider.decide_logged(span, 0.5);
+          const auto t1 = std::chrono::steady_clock::now();
+          out.latency_us.push_back(
+              std::chrono::duration<double, std::micro>(t1 - t0).count());
+        } else {
+          decider.decide_logged(span, 0.5);
+        }
+        ++n;
+      }
+      out.allocs = gate.delta();
+      out.decisions = n;
+    });
+  }
+
+  // Publisher: swap a fresh snapshot every swap_ms while measuring.
+  std::thread publisher([&] {
+    util::Rng prng(seed + 17);
+    std::uint64_t next_id = 2;
+    while (phase.load(std::memory_order_acquire) != 2) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(swap_ms));
+      auto w = weights;
+      for (auto& row : w) {
+        for (auto& v : row) v += prng.uniform(-0.01, 0.01);
+      }
+      service.publish(serve::PolicySnapshot::from_weights(next_id++, w,
+                                                          epsilon));
+    }
+  });
+
+  // Drainer: keep the rings from filling so drops stay at zero.
+  std::atomic<std::uint64_t> drained_total{0};
+  std::thread drainer([&] {
+    while (phase.load(std::memory_order_acquire) != 2) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      const auto stats = service.drain([](const serve::DecisionRecord&) {});
+      drained_total.fetch_add(stats.drained, std::memory_order_relaxed);
+    }
+    const auto stats = service.drain([](const serve::DecisionRecord&) {});
+    drained_total.fetch_add(stats.drained, std::memory_order_relaxed);
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));  // warmup
+  const auto start = std::chrono::steady_clock::now();
+  phase.store(1, std::memory_order_release);
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(seconds));
+  phase.store(2, std::memory_order_release);
+  const auto stop = std::chrono::steady_clock::now();
+  for (auto& w : workers) w.join();
+  publisher.join();
+  drainer.join();
+  service.reclaim_all();
+
+  const double wall =
+      std::chrono::duration<double>(stop - start).count();
+  std::uint64_t decisions = 0;
+  std::uint64_t allocs = 0;
+  std::vector<double> latencies;
+  for (auto& r : results) {
+    decisions += r.decisions;
+    allocs += r.allocs;
+    latencies.insert(latencies.end(), r.latency_us.begin(),
+                     r.latency_us.end());
+  }
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const auto cores =
+      static_cast<double>(std::min<std::size_t>(threads, hw));
+  const double mops_per_core =
+      static_cast<double>(decisions) / wall / 1e6 / cores;
+  const double p50 = percentile(latencies, 0.50);
+  const double p99 = percentile(latencies, 0.99);
+  const double mx = latencies.empty()
+                        ? 0.0
+                        : *std::max_element(latencies.begin(), latencies.end());
+  const std::uint64_t dropped = service.dropped_total();
+
+  std::printf(
+      "serve-throughput: threads=%zu wall=%.3fs decisions=%llu "
+      "mops/core=%.3f p50=%.3fus p99=%.3fus max=%.3fus allocs=%llu "
+      "swaps=%llu reclaimed=%llu dropped=%llu drained=%llu\n",
+      threads, wall, static_cast<unsigned long long>(decisions),
+      mops_per_core, p50, p99, mx, static_cast<unsigned long long>(allocs),
+      static_cast<unsigned long long>(service.swaps()),
+      static_cast<unsigned long long>(service.reclaimed()),
+      static_cast<unsigned long long>(dropped),
+      static_cast<unsigned long long>(
+          drained_total.load(std::memory_order_relaxed)));
+
+  if (!json_out.empty()) {
+    std::ofstream out(json_out);
+    out << "{\n"
+        << "  \"threads\": " << threads << ",\n"
+        << "  \"seconds\": " << wall << ",\n"
+        << "  \"decisions\": " << decisions << ",\n"
+        << "  \"mops_per_core\": " << mops_per_core << ",\n"
+        << "  \"p50_us\": " << p50 << ",\n"
+        << "  \"p99_us\": " << p99 << ",\n"
+        << "  \"max_us\": " << mx << ",\n"
+        << "  \"decide_path_allocs\": " << allocs << ",\n"
+        << "  \"dropped\": " << dropped << ",\n"
+        << "  \"swaps\": " << service.swaps() << ",\n"
+        << "  \"reclaimed\": " << service.reclaimed() << "\n"
+        << "}\n";
+  }
+
+  int failures = 0;
+  if (mops_per_core < min_mops) {
+    std::fprintf(stderr, "GATE FAIL: %.3f Mdecisions/s/core < %.3f\n",
+                 mops_per_core, min_mops);
+    ++failures;
+  }
+  if (p99 > max_p99_us) {
+    std::fprintf(stderr, "GATE FAIL: p99 %.3fus > %.3fus\n", p99, max_p99_us);
+    ++failures;
+  }
+  if (allocs != 0) {
+    std::fprintf(stderr,
+                 "GATE FAIL: %llu allocations on the decide path (want 0)\n",
+                 static_cast<unsigned long long>(allocs));
+    ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  if (flags.has("serve-throughput")) {
+    return run_serve_throughput(flags);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

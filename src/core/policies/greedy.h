@@ -35,6 +35,10 @@ class LinearPolicy final : public DeterministicPolicy {
   ActionId choose(const FeatureVector& x) const override;
   std::string name() const override { return name_; }
 
+  /// Per-action weight rows (each dim+1, bias first) — the exact layout
+  /// serve::PolicySnapshot::from_weights flattens for the hot path.
+  const std::vector<std::vector<double>>& weights() const { return weights_; }
+
  private:
   std::vector<std::vector<double>> weights_;
   std::string name_;

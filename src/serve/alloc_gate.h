@@ -1,0 +1,37 @@
+// Thread-local allocation counting for the zero-allocation gates.
+//
+// Linking the companion static library (harvest_allocgate) replaces the
+// global operator new/delete family with counting wrappers that forward to
+// malloc/free. The serve unit tests and the throughput gate snapshot
+// thread_allocation_count() around the decide path and assert the delta is
+// exactly zero — the ISSUE's "verified by an allocation-counting hook".
+//
+// The counters are thread-local, so a background trainer allocating on its
+// own thread never pollutes a decider thread's measurement. Only test and
+// bench binaries link the gate; the library proper never overrides the
+// global allocator.
+#pragma once
+
+#include <cstdint>
+
+namespace harvest::serve {
+
+/// Allocations (operator new in any variant) made by the calling thread
+/// since it started. Monotone; diff two readings to gate a code region.
+std::uint64_t thread_allocation_count();
+
+/// Bytes requested by the calling thread's allocations (diagnostics).
+std::uint64_t thread_allocation_bytes();
+
+/// RAII region gate: records the thread's allocation count at construction;
+/// delta() says how many allocations happened since.
+class AllocGate {
+ public:
+  AllocGate() : start_(thread_allocation_count()) {}
+  std::uint64_t delta() const { return thread_allocation_count() - start_; }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace harvest::serve

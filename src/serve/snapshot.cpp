@@ -1,0 +1,187 @@
+#include "serve/snapshot.h"
+
+#include <atomic>
+#include <bit>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "core/reward_model.h"
+
+namespace harvest::serve {
+
+namespace {
+
+constexpr std::uint64_t kCanaryLive = 0x5345525645414C56ULL;  // "SERVEALV"
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::atomic<std::uint64_t> g_alive{0};
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+void append_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+}  // namespace
+
+PolicySnapshot::PolicySnapshot(std::uint64_t id, std::size_t num_actions,
+                               std::size_t dim, std::vector<double> weights,
+                               double epsilon)
+    : id_(id),
+      num_actions_(static_cast<std::uint32_t>(num_actions)),
+      dim_(static_cast<std::uint32_t>(dim)),
+      epsilon_(epsilon),
+      weights_(std::move(weights)) {
+  if (num_actions == 0) {
+    throw std::invalid_argument("PolicySnapshot: num_actions must be > 0");
+  }
+  if (weights_.size() != num_actions * (dim + 1)) {
+    throw std::invalid_argument(
+        "PolicySnapshot: weights must be num_actions * (dim+1) values");
+  }
+  if (!(epsilon >= 0.0 && epsilon <= 1.0)) {
+    throw std::invalid_argument("PolicySnapshot: epsilon must be in [0, 1]");
+  }
+  checksum_ = checksum();
+  canary_ = kCanaryLive;
+  g_alive.fetch_add(1, std::memory_order_relaxed);
+}
+
+PolicySnapshot::~PolicySnapshot() {
+  canary_ = 0;
+  g_alive.fetch_sub(1, std::memory_order_relaxed);
+}
+
+std::uint64_t PolicySnapshot::checksum() const {
+  std::uint64_t h = kFnvOffset;
+  h = fnv_mix(h, id_);
+  h = fnv_mix(h, (static_cast<std::uint64_t>(num_actions_) << 32) | dim_);
+  h = fnv_mix(h, std::bit_cast<std::uint64_t>(epsilon_));
+  for (double w : weights_) {
+    h = fnv_mix(h, std::bit_cast<std::uint64_t>(w));
+  }
+  return h;
+}
+
+bool PolicySnapshot::verify_integrity() const {
+  return canary_ == kCanaryLive && checksum_ == checksum();
+}
+
+std::uint64_t PolicySnapshot::alive_count() {
+  return g_alive.load(std::memory_order_relaxed);
+}
+
+core::ActionId PolicySnapshot::greedy(std::span<const double> context) const {
+  const std::size_t stride = dim_ + 1;
+  const double* w = weights_.data();
+  double best = -std::numeric_limits<double>::infinity();
+  core::ActionId arg = 0;
+  for (std::uint32_t a = 0; a < num_actions_; ++a) {
+    const double* wa = w + a * stride;
+    double score = wa[0];
+    for (std::uint32_t i = 0; i < dim_; ++i) score += wa[1 + i] * context[i];
+    if (score > best) {
+      best = score;
+      arg = a;
+    }
+  }
+  return arg;
+}
+
+Decision PolicySnapshot::decide(std::span<const double> context,
+                                util::Rng& rng) const {
+  const core::ActionId g = greedy(context);
+  core::ActionId a = g;
+  if (epsilon_ > 0.0 && rng.uniform() < epsilon_) {
+    a = static_cast<core::ActionId>(rng.uniform_index(num_actions_));
+  }
+  const double p =
+      epsilon_ / static_cast<double>(num_actions_) + (a == g ? 1.0 - epsilon_ : 0.0);
+  return Decision{a, p, id_};
+}
+
+double PolicySnapshot::probability(std::span<const double> context,
+                                   core::ActionId a) const {
+  const core::ActionId g = greedy(context);
+  return epsilon_ / static_cast<double>(num_actions_) +
+         (a == g ? 1.0 - epsilon_ : 0.0);
+}
+
+std::string PolicySnapshot::serialize() const {
+  std::string out;
+  out.reserve(4 + 8 + 4 + 4 + 8 + weights_.size() * 8);
+  out.append("SNAP");
+  append_u64(out, id_);
+  append_u32(out, num_actions_);
+  append_u32(out, dim_);
+  append_u64(out, std::bit_cast<std::uint64_t>(epsilon_));
+  for (double w : weights_) {
+    append_u64(out, std::bit_cast<std::uint64_t>(w));
+  }
+  return out;
+}
+
+std::unique_ptr<const PolicySnapshot> PolicySnapshot::from_weights(
+    std::uint64_t id, const std::vector<std::vector<double>>& weights,
+    double epsilon) {
+  if (weights.empty()) {
+    throw std::invalid_argument("PolicySnapshot: no weight rows");
+  }
+  const std::size_t stride = weights.front().size();
+  if (stride == 0) {
+    throw std::invalid_argument("PolicySnapshot: empty weight row");
+  }
+  std::vector<double> flat;
+  flat.reserve(weights.size() * stride);
+  for (const auto& row : weights) {
+    if (row.size() != stride) {
+      throw std::invalid_argument("PolicySnapshot: ragged weight rows");
+    }
+    flat.insert(flat.end(), row.begin(), row.end());
+  }
+  return std::make_unique<const PolicySnapshot>(id, weights.size(), stride - 1,
+                                                std::move(flat), epsilon);
+}
+
+std::unique_ptr<const PolicySnapshot> PolicySnapshot::from_model(
+    std::uint64_t id, const core::RidgeRewardModel& model, std::size_t dim,
+    double epsilon) {
+  std::vector<double> flat;
+  flat.reserve(model.num_actions() * (dim + 1));
+  for (std::size_t a = 0; a < model.num_actions(); ++a) {
+    const std::vector<double>& row =
+        model.weights(static_cast<core::ActionId>(a));
+    if (row.size() != dim + 1) {
+      throw std::invalid_argument(
+          "PolicySnapshot: model dim does not match snapshot dim");
+    }
+    flat.insert(flat.end(), row.begin(), row.end());
+  }
+  return std::make_unique<const PolicySnapshot>(id, model.num_actions(), dim,
+                                                std::move(flat), epsilon);
+}
+
+std::unique_ptr<const PolicySnapshot> PolicySnapshot::uniform(
+    std::uint64_t id, std::size_t num_actions, std::size_t dim) {
+  return std::make_unique<const PolicySnapshot>(
+      id, num_actions, dim, std::vector<double>(num_actions * (dim + 1), 0.0),
+      1.0);
+}
+
+}  // namespace harvest::serve

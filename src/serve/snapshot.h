@@ -1,0 +1,123 @@
+// Immutable policy snapshots for the online decision service.
+//
+// A PolicySnapshot is the deployable unit the serving layer publishes: the
+// flattened per-action linear weights of a trained CB policy (bias first,
+// one contiguous row per action), the exploration spec (epsilon-greedy
+// floor), and the context arity — everything `decide(context)` needs, laid
+// out so the hot path touches one flat array and allocates nothing.
+//
+// Snapshots are immutable after construction and published to deciders via
+// an atomic pointer swap (see service.h); epsilon-greedy exploration keeps
+// every action's propensity >= epsilon/|A|, so the decision stream the
+// service logs is harvestable by construction (§2's exploration-scavenging
+// condition holds for every snapshot the trainer publishes).
+//
+// Integrity: every snapshot carries a checksum over (id, geometry, weight
+// bit patterns) computed at construction and a liveness canary cleared by
+// the destructor. `verify_integrity()` lets the swap torture tests assert
+// that a concurrently acquired snapshot is never torn and never freed while
+// a reader holds it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "util/rng.h"
+
+namespace harvest::core {
+class RidgeRewardModel;  // reward_model.h; snapshots flatten its weights
+}
+
+namespace harvest::serve {
+
+/// What decide() returns: the chosen action, the probability with which it
+/// was chosen (the logged propensity), and the id of the snapshot that made
+/// the call — the provenance the harvest loop needs to segment its logs.
+struct Decision {
+  core::ActionId action = 0;
+  double propensity = 1.0;
+  std::uint64_t snapshot_id = 0;
+};
+
+class PolicySnapshot {
+ public:
+  /// `weights` is num_actions rows of (dim+1) doubles, bias first —
+  /// action a scores weights[a*(dim+1)] + weights[a*(dim+1)+1..] · x.
+  /// `epsilon` in [0, 1] is the uniform-exploration mass mixed over the
+  /// greedy choice (1 = uniform random, 0 = deterministic greedy).
+  /// Throws std::invalid_argument on inconsistent geometry.
+  PolicySnapshot(std::uint64_t id, std::size_t num_actions, std::size_t dim,
+                 std::vector<double> weights, double epsilon);
+  ~PolicySnapshot();
+
+  PolicySnapshot(const PolicySnapshot&) = delete;
+  PolicySnapshot& operator=(const PolicySnapshot&) = delete;
+
+  std::uint64_t id() const { return id_; }
+  std::size_t num_actions() const { return num_actions_; }
+  std::size_t dim() const { return dim_; }
+  double epsilon() const { return epsilon_; }
+  std::span<const double> weights() const { return weights_; }
+
+  /// argmax_a (w_a · [1, x]), ties toward the lower action id. Requires
+  /// context.size() == dim(). Zero-allocation.
+  core::ActionId greedy(std::span<const double> context) const;
+
+  /// Epsilon-greedy draw from the snapshot's conditional distribution:
+  /// with probability epsilon a uniform action, otherwise the greedy one.
+  /// The returned propensity is exactly pi(a|x). Zero-allocation; consumes
+  /// one rng draw when epsilon > 0 plus one more when exploring.
+  Decision decide(std::span<const double> context, util::Rng& rng) const;
+
+  /// pi(a|x) for any action (cold path: tests, chi-squared checks).
+  double probability(std::span<const double> context, core::ActionId a) const;
+
+  /// Exact byte serialization (little-endian id/geometry/epsilon + weight
+  /// bit patterns). Two snapshots serialize identically iff they would make
+  /// identical decisions — the determinism suite compares these bytes
+  /// across trainer thread counts.
+  std::string serialize() const;
+
+  /// True while the construction-time checksum still matches the live
+  /// canary and the weight bytes. A torn concurrent read or a use after
+  /// reclamation fails this (torture-test hook; cheap enough to call on
+  /// every acquisition).
+  bool verify_integrity() const;
+
+  /// Process-wide count of constructed-but-not-destroyed snapshots. The
+  /// stress suite asserts reclamation returns this to baseline.
+  static std::uint64_t alive_count();
+
+  // ---- builders ---------------------------------------------------------
+  /// From explicit per-action weight rows (each dim+1, bias first), e.g.
+  /// core::LinearPolicy::weights().
+  static std::unique_ptr<const PolicySnapshot> from_weights(
+      std::uint64_t id, const std::vector<std::vector<double>>& weights,
+      double epsilon);
+  /// Flattens a fitted ridge model's per-action coefficients — how the
+  /// SnapshotTrainer turns a retrain into a deployable snapshot.
+  static std::unique_ptr<const PolicySnapshot> from_model(
+      std::uint64_t id, const core::RidgeRewardModel& model, std::size_t dim,
+      double epsilon);
+  /// All-zero weights with epsilon 1: uniform randomization, the canonical
+  /// pre-optimization logging policy whose randomness the loop harvests.
+  static std::unique_ptr<const PolicySnapshot> uniform(
+      std::uint64_t id, std::size_t num_actions, std::size_t dim);
+
+ private:
+  std::uint64_t checksum() const;
+
+  std::uint64_t id_;
+  std::uint32_t num_actions_;
+  std::uint32_t dim_;
+  double epsilon_;
+  std::vector<double> weights_;  ///< num_actions * (dim+1), bias first
+  std::uint64_t checksum_ = 0;
+  std::uint64_t canary_ = 0;
+};
+
+}  // namespace harvest::serve

@@ -1,0 +1,98 @@
+#include "serve/trainer.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "core/reward_model.h"
+
+namespace harvest::serve {
+
+SnapshotTrainer::SnapshotTrainer(DecisionService& service, Options options)
+    : service_(service), options_(options) {}
+
+SnapshotTrainer::~SnapshotTrainer() { stop(); }
+
+std::size_t SnapshotTrainer::collect() {
+  const std::size_t dim = service_.options().dim;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t unlabeled = 0;
+  const ServeDrainStats stats =
+      service_.drain([this, dim, &unlabeled](const DecisionRecord& rec) {
+        if (std::isnan(rec.reward)) {
+          ++unlabeled;
+          return;
+        }
+        core::ExplorationPoint point;
+        point.context = core::FeatureVector(std::vector<double>(
+            rec.context, rec.context + std::min<std::size_t>(rec.dim, dim)));
+        point.action = rec.action;
+        point.reward = rec.reward;
+        point.propensity = rec.propensity;
+        buffer_.push_back(std::move(point));
+      });
+  if (options_.window_rows > 0 && buffer_.size() > options_.window_rows) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.end() - static_cast<std::ptrdiff_t>(
+                                      options_.window_rows));
+  }
+  collected_.fetch_add(stats.drained, std::memory_order_relaxed);
+  unlabeled_.fetch_add(unlabeled, std::memory_order_relaxed);
+  return stats.drained;
+}
+
+std::unique_ptr<const PolicySnapshot> SnapshotTrainer::train_on(
+    const core::ExplorationDataset& data, std::uint64_t id) const {
+  if (data.empty()) {
+    throw std::invalid_argument("SnapshotTrainer: empty dataset");
+  }
+  auto [policy, model] = core::train_cb_policy_with_model(data, options_.train);
+  const auto* ridge = dynamic_cast<const core::RidgeRewardModel*>(model.get());
+  if (ridge == nullptr) {
+    throw std::runtime_error("SnapshotTrainer: expected a ridge reward model");
+  }
+  const std::size_t dim = service_.options().dim;
+  return PolicySnapshot::from_model(id, *ridge, dim, options_.epsilon);
+}
+
+std::uint64_t SnapshotTrainer::train_and_publish() {
+  core::ExplorationDataset data(service_.options().num_actions,
+                                options_.reward_range);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (buffer_.size() < options_.min_rows) return 0;
+    data.reserve(buffer_.size());
+    for (const auto& point : buffer_) data.add(point);
+  }
+  auto snapshot = train_on(data, service_.current_id() + 1);
+  const std::uint64_t id = service_.publish(std::move(snapshot));
+  published_.fetch_add(1, std::memory_order_relaxed);
+  service_.try_reclaim();
+  return id;
+}
+
+void SnapshotTrainer::start(std::chrono::milliseconds period) {
+  if (running_.exchange(true, std::memory_order_acq_rel)) return;
+  stop_requested_.store(false, std::memory_order_release);
+  worker_ = std::thread([this, period] {
+    while (!stop_requested_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(period);
+      collect();
+      train_and_publish();
+    }
+  });
+}
+
+void SnapshotTrainer::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_requested_.store(true, std::memory_order_release);
+  if (worker_.joinable()) worker_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+std::size_t SnapshotTrainer::buffered_rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buffer_.size();
+}
+
+}  // namespace harvest::serve

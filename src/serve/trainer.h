@@ -1,0 +1,105 @@
+// The cold half of the serving loop: drain logged decision tuples, retrain,
+// publish a fresh PolicySnapshot — without ever stalling a decider.
+//
+// The SnapshotTrainer closes the paper's harvest loop online: the decision
+// stream the service logs is exactly the ⟨x, a, r, p⟩ exploration data of
+// §2 (propensities are exact by construction), so retraining is the same
+// importance-weighted ridge fit the offline pipeline uses
+// (core::train_cb_policy_with_model), and publishing is one atomic swap.
+// Because the fit runs on the deterministic par:: machinery, the snapshot
+// bytes are identical at any trainer thread count — the determinism suite
+// compares serialize() at 1 vs 8 threads.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/train/trainer.h"
+#include "core/types.h"
+#include "serve/service.h"
+#include "serve/snapshot.h"
+
+namespace harvest::serve {
+
+class SnapshotTrainer {
+ public:
+  struct Options {
+    /// Exploration mass of every published snapshot. Kept above zero so the
+    /// served stream stays harvestable (min propensity epsilon/|A|).
+    double epsilon = 0.1;
+    core::TrainConfig train;
+    /// train_and_publish() refuses to retrain on fewer labeled tuples than
+    /// this (a fit on a handful of rows would publish noise).
+    std::size_t min_rows = 64;
+    core::RewardRange reward_range;
+    /// When positive, only the most recent `window_rows` labeled tuples are
+    /// kept (sliding window over the decision stream); 0 keeps everything.
+    std::size_t window_rows = 0;
+  };
+
+  SnapshotTrainer(DecisionService& service, Options options);
+  ~SnapshotTrainer();
+
+  SnapshotTrainer(const SnapshotTrainer&) = delete;
+  SnapshotTrainer& operator=(const SnapshotTrainer&) = delete;
+
+  /// Drains the service rings into the trainer's buffer. Reward-less tuples
+  /// (NaN — decide() with no log_reward()) are counted and skipped; they
+  /// carry no label to learn from. Returns records drained this call.
+  std::size_t collect();
+
+  /// Retrains on the buffered tuples and publishes the result as snapshot
+  /// current_id()+1. Returns the published id, or 0 without publishing when
+  /// fewer than min_rows labeled tuples are buffered.
+  std::uint64_t train_and_publish();
+
+  /// The retrain step alone: importance-weighted ridge on `data`, flattened
+  /// into a snapshot with the trainer's epsilon. Exposed so drivers can
+  /// retrain from an HLOG corpus they scavenged themselves (the offline
+  /// path) and so the determinism suite can diff snapshot bytes. Throws
+  /// std::invalid_argument on an empty dataset.
+  std::unique_ptr<const PolicySnapshot> train_on(
+      const core::ExplorationDataset& data, std::uint64_t id) const;
+
+  /// Starts the background retrain thread: every `period` it collects,
+  /// retrains when enough labeled data arrived, publishes, and reclaims.
+  /// Deciders are never blocked; they just keep reading whichever snapshot
+  /// is current. stop() joins the thread (also called by the destructor).
+  void start(std::chrono::milliseconds period);
+  void stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  std::size_t buffered_rows() const;
+  std::uint64_t collected() const {
+    return collected_.load(std::memory_order_relaxed);
+  }
+  /// Tuples dropped because no reward was ever reported for them.
+  std::uint64_t unlabeled_dropped() const {
+    return unlabeled_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t published() const {
+    return published_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  DecisionService& service_;
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::vector<core::ExplorationPoint> buffer_;  // guarded by mu_
+
+  std::atomic<std::uint64_t> collected_{0};
+  std::atomic<std::uint64_t> unlabeled_{0};
+  std::atomic<std::uint64_t> published_{0};
+
+  std::thread worker_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+};
+
+}  // namespace harvest::serve

@@ -18,6 +18,9 @@
 #include <vector>
 
 #include "harvest/harvest.h"
+#include "serve/service.h"
+#include "serve/snapshot.h"
+#include "serve/trainer.h"
 #include "stats/quantile.h"
 #include "testing/fixtures.h"
 #include "util/hash.h"
@@ -169,6 +172,102 @@ TEST(DeterminismTest, AllScenariosBitIdenticalAcrossThreadCounts) {
       EXPECT_EQ(baseline[i], run[i])
           << "signature[" << i << "] differs at threads=" << threads;
     }
+  }
+  par::set_default_threads(1);
+}
+
+// ---- Serve determinism: fixed-seed serving and retraining ----
+
+/// Single-threaded serve of a fixed context stream: flattens every logged
+/// tuple into a signature vector for exact run-to-run comparison.
+std::vector<double> run_serve_scenario() {
+  constexpr std::size_t kActions = 3;
+  constexpr std::size_t kDim = 3;
+  util::Rng wrng(61);
+  std::vector<std::vector<double>> weights(kActions,
+                                           std::vector<double>(kDim + 1));
+  for (auto& row : weights) {
+    for (auto& v : row) v = wrng.uniform(-1, 1);
+  }
+  serve::DecisionService service(
+      {.num_actions = kActions, .dim = kDim, .log_capacity = 1 << 13,
+       .seed = 4242},
+      serve::PolicySnapshot::from_weights(1, weights, 0.2));
+  serve::Decider& decider = service.add_decider();
+  util::Rng ctx_rng(62);
+  util::Rng reward_rng(63);
+  double ctx[kDim];
+  for (int i = 0; i < 4000; ++i) {
+    for (std::size_t d = 0; d < kDim; ++d) ctx[d] = ctx_rng.uniform();
+    decider.decide(std::span<const double>(ctx, kDim));
+    decider.log_reward(reward_rng.uniform());
+  }
+  std::vector<double> sig;
+  service.drain([&sig](const serve::DecisionRecord& rec) {
+    sig.push_back(static_cast<double>(rec.action));
+    sig.push_back(rec.propensity);
+    sig.push_back(rec.reward);
+    sig.push_back(static_cast<double>(rec.snapshot_id));
+    for (std::uint32_t d = 0; d < rec.dim; ++d) {
+      sig.push_back(rec.context[d]);
+    }
+  });
+  return sig;
+}
+
+TEST(DeterminismTest, ServeFixedSeedBitIdenticalAcrossRuns) {
+  const std::vector<double> first = run_serve_scenario();
+  const std::vector<double> second = run_serve_scenario();
+  ASSERT_GT(first.size(), 1000u);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i], second[i]) << "signature[" << i << "] differs";
+  }
+}
+
+/// Serves, retrains from the service's own logs, and returns the retrained
+/// snapshot's exact bytes.
+std::string retrain_snapshot_bytes() {
+  constexpr std::size_t kActions = 3;
+  constexpr std::size_t kDim = 2;
+  serve::DecisionService service(
+      {.num_actions = kActions, .dim = kDim, .log_capacity = 1 << 13,
+       .seed = 97},
+      serve::PolicySnapshot::uniform(1, kActions, kDim));
+  serve::Decider& decider = service.add_decider();
+  serve::SnapshotTrainer trainer(
+      service, {.epsilon = 0.1, .min_rows = 32, .reward_range = {0, 1}});
+  util::Rng ctx_rng(98);
+  double ctx[kDim];
+  for (int i = 0; i < 3000; ++i) {
+    for (std::size_t d = 0; d < kDim; ++d) ctx[d] = ctx_rng.uniform();
+    const serve::Decision dec =
+        decider.decide(std::span<const double>(ctx, kDim));
+    // Linear environment: action a pays a.x0-flavored reward.
+    decider.log_reward(0.2 + 0.3 * ctx[0] * (dec.action + 1) /
+                                 static_cast<double>(kActions));
+  }
+  trainer.collect();
+  EXPECT_EQ(trainer.train_and_publish(), 2u);
+  std::string bytes;
+  {
+    const serve::SnapshotRef ref = decider.snapshot();
+    EXPECT_EQ(ref->id(), 2u);
+    bytes = ref->serialize();
+  }
+  service.reclaim_all();
+  return bytes;
+}
+
+TEST(DeterminismTest, RetrainedSnapshotBytesInvariantAcrossThreadCounts) {
+  // The retrain-from-own-logs loop must publish byte-identical snapshots
+  // whether the ridge fit runs on 1 or 8 threads.
+  par::set_default_threads(1);
+  const std::string baseline = retrain_snapshot_bytes();
+  EXPECT_GT(baseline.size(), 24u);
+  for (const std::size_t threads : {2u, 8u}) {
+    par::set_default_threads(threads);
+    EXPECT_EQ(baseline, retrain_snapshot_bytes()) << "threads=" << threads;
   }
   par::set_default_threads(1);
 }

@@ -1,0 +1,320 @@
+// Unit tests for the online decision service: snapshot semantics, exact
+// propensities, ring accounting, hazard-protected reclamation, the trainer,
+// and the zero-allocation guarantee of the decide path (the allocation-
+// counting gate this binary links via harvest_allocgate).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/policies/greedy.h"
+#include "serve/alloc_gate.h"
+#include "serve/service.h"
+#include "serve/snapshot.h"
+#include "serve/trainer.h"
+#include "util/rng.h"
+
+namespace harvest::serve {
+namespace {
+
+std::vector<std::vector<double>> random_weights(std::size_t num_actions,
+                                                std::size_t dim,
+                                                util::Rng& rng) {
+  std::vector<std::vector<double>> w(num_actions,
+                                     std::vector<double>(dim + 1));
+  for (auto& row : w) {
+    for (auto& v : row) v = rng.uniform(-1, 1);
+  }
+  return w;
+}
+
+TEST(PolicySnapshotTest, GreedyMatchesLinearPolicy) {
+  util::Rng rng(7);
+  const auto weights = random_weights(5, 6, rng);
+  const auto snap = PolicySnapshot::from_weights(1, weights, 0.0);
+  const core::LinearPolicy policy(weights);
+  for (int i = 0; i < 500; ++i) {
+    std::vector<double> x(6);
+    for (auto& v : x) v = rng.uniform(-2, 2);
+    EXPECT_EQ(snap->greedy(x), policy.choose(core::FeatureVector(x)));
+  }
+}
+
+TEST(PolicySnapshotTest, DecidePropensityIsExact) {
+  util::Rng rng(8);
+  const double eps = 0.3;
+  const std::size_t k = 4;
+  const auto snap =
+      PolicySnapshot::from_weights(2, random_weights(k, 3, rng), eps);
+  util::Rng draw(9);
+  int explored = 0;
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<double> x{rng.uniform(), rng.uniform(), rng.uniform()};
+    const Decision d = snap->decide(x, draw);
+    // The logged propensity is exactly pi(a|x).
+    EXPECT_EQ(d.propensity, snap->probability(x, d.action));
+    EXPECT_GE(d.propensity, eps / static_cast<double>(k));
+    EXPECT_EQ(d.snapshot_id, 2u);
+    if (d.action != snap->greedy(x)) ++explored;
+  }
+  // eps * (k-1)/k of decisions should leave the greedy action; loose bound.
+  EXPECT_GT(explored, 200);
+  EXPECT_LT(explored, 800);
+}
+
+TEST(PolicySnapshotTest, UniformSnapshotHasUniformPropensity) {
+  const auto snap = PolicySnapshot::uniform(1, 5, 2);
+  util::Rng rng(10);
+  std::vector<double> x{0.1, 0.9};
+  for (int i = 0; i < 100; ++i) {
+    const Decision d = snap->decide(x, rng);
+    EXPECT_EQ(d.propensity, 1.0 / 5.0);
+  }
+}
+
+TEST(PolicySnapshotTest, SerializeIsDeterministicAndSensitive) {
+  util::Rng rng(11);
+  const auto weights = random_weights(3, 4, rng);
+  const auto a = PolicySnapshot::from_weights(5, weights, 0.25);
+  const auto b = PolicySnapshot::from_weights(5, weights, 0.25);
+  EXPECT_EQ(a->serialize(), b->serialize());
+  auto perturbed = weights;
+  perturbed[1][2] += 1e-15;
+  const auto c = PolicySnapshot::from_weights(5, perturbed, 0.25);
+  EXPECT_NE(a->serialize(), c->serialize());
+}
+
+TEST(PolicySnapshotTest, ConstructorValidates) {
+  EXPECT_THROW(PolicySnapshot(1, 0, 2, {}, 0.1), std::invalid_argument);
+  EXPECT_THROW(PolicySnapshot(1, 2, 2, {1, 2, 3}, 0.1),
+               std::invalid_argument);
+  EXPECT_THROW(PolicySnapshot(1, 1, 0, {1.0}, 1.5), std::invalid_argument);
+  EXPECT_THROW(PolicySnapshot(1, 1, 0, {1.0}, -0.1), std::invalid_argument);
+}
+
+TEST(PolicySnapshotTest, IntegrityAndAliveCount) {
+  const std::uint64_t before = PolicySnapshot::alive_count();
+  {
+    const auto snap = PolicySnapshot::uniform(1, 3, 2);
+    EXPECT_TRUE(snap->verify_integrity());
+    EXPECT_EQ(PolicySnapshot::alive_count(), before + 1);
+  }
+  EXPECT_EQ(PolicySnapshot::alive_count(), before);
+}
+
+DecisionService::Options small_service(std::size_t log_capacity = 1 << 10) {
+  return {.num_actions = 3, .dim = 2, .log_capacity = log_capacity,
+          .seed = 77};
+}
+
+TEST(DecisionServiceTest, ConstructorValidatesGeometry) {
+  EXPECT_THROW(DecisionService({.num_actions = 0, .dim = 2},
+                               PolicySnapshot::uniform(1, 3, 2)),
+               std::invalid_argument);
+  EXPECT_THROW(DecisionService({.num_actions = 3, .dim = 99},
+                               PolicySnapshot::uniform(1, 3, 99)),
+               std::invalid_argument);
+  EXPECT_THROW(DecisionService({.num_actions = 3, .dim = 2},
+                               PolicySnapshot::uniform(1, 4, 2)),
+               std::invalid_argument);
+  DecisionService service(small_service(), PolicySnapshot::uniform(1, 3, 2));
+  EXPECT_THROW(service.publish(PolicySnapshot::uniform(2, 3, 5)),
+               std::invalid_argument);
+}
+
+TEST(DecisionServiceTest, RingAccountingIsExact) {
+  // Capacity 8: 100 logged decisions -> 8 in the ring, 92 dropped, zero
+  // silent losses.
+  DecisionService service(small_service(8),
+                          PolicySnapshot::uniform(1, 3, 2));
+  Decider& d = service.add_decider();
+  const std::vector<double> x{0.5, 0.5};
+  for (int i = 0; i < 100; ++i) d.decide_logged(x, 1.0);
+  EXPECT_EQ(d.decided(), 100u);
+  EXPECT_EQ(d.logged(), 8u);
+  EXPECT_EQ(d.dropped(), 92u);
+  EXPECT_EQ(d.logged() + d.dropped(), d.decided());
+
+  std::size_t drained = 0;
+  const ServeDrainStats stats =
+      service.drain([&drained](const DecisionRecord&) { ++drained; });
+  EXPECT_EQ(stats.drained, 8u);
+  EXPECT_EQ(drained, 8u);
+  EXPECT_EQ(stats.dropped_total, 92u);
+
+  // Ring empty again: the next decisions all fit.
+  for (int i = 0; i < 8; ++i) d.decide_logged(x, 1.0);
+  EXPECT_EQ(d.dropped(), 92u);
+}
+
+TEST(DecisionServiceTest, UnreportedDecisionFlushedAsNaN) {
+  DecisionService service(small_service(),
+                          PolicySnapshot::uniform(1, 3, 2));
+  Decider& d = service.add_decider();
+  const std::vector<double> x{0.1, 0.2};
+  d.decide(x);          // never reward-labeled
+  d.decide(x);          // flushes the first as NaN
+  d.log_reward(0.75);   // labels the second
+  std::vector<DecisionRecord> records;
+  service.drain([&records](const DecisionRecord& r) { records.push_back(r); });
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_TRUE(std::isnan(records[0].reward));
+  EXPECT_EQ(records[1].reward, 0.75);
+  EXPECT_EQ(records[0].context[0], 0.1);
+  EXPECT_EQ(records[0].context[1], 0.2);
+}
+
+TEST(DecisionServiceTest, RecordCarriesFullTuple) {
+  util::Rng rng(13);
+  const auto weights = random_weights(3, 2, rng);
+  DecisionService service(small_service(),
+                          PolicySnapshot::from_weights(9, weights, 0.2));
+  Decider& d = service.add_decider();
+  const std::vector<double> x{0.3, 0.8};
+  const Decision dec = d.decide_logged(x, 0.6);
+  std::vector<DecisionRecord> records;
+  service.drain([&records](const DecisionRecord& r) { records.push_back(r); });
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].action, dec.action);
+  EXPECT_EQ(records[0].propensity, dec.propensity);
+  EXPECT_EQ(records[0].snapshot_id, 9u);
+  EXPECT_EQ(records[0].dim, 2u);
+  EXPECT_EQ(records[0].decider, 0u);
+  EXPECT_EQ(records[0].reward, 0.6);
+}
+
+TEST(DecisionServiceTest, PublishSwapsAndReclaims) {
+  DecisionService service(small_service(),
+                          PolicySnapshot::uniform(1, 3, 2));
+  EXPECT_EQ(service.current_id(), 1u);
+  service.publish(PolicySnapshot::uniform(2, 3, 2));
+  EXPECT_EQ(service.current_id(), 2u);
+  EXPECT_EQ(service.swaps(), 1u);
+  EXPECT_TRUE(service.was_published(1));
+  EXPECT_TRUE(service.was_published(2));
+  EXPECT_FALSE(service.was_published(3));
+  // No deciders hold a hazard: the retired snapshot is reclaimable.
+  service.try_reclaim();
+  EXPECT_EQ(service.retired_count(), 0u);
+  EXPECT_EQ(service.reclaimed(), 1u);
+}
+
+TEST(DecisionServiceTest, HeldRefBlocksReclamation) {
+  const std::uint64_t baseline = PolicySnapshot::alive_count();
+  DecisionService service(small_service(),
+                          PolicySnapshot::uniform(1, 3, 2));
+  Decider& d = service.add_decider();
+  {
+    const SnapshotRef ref = d.snapshot();
+    EXPECT_EQ(ref->id(), 1u);
+    service.publish(PolicySnapshot::uniform(2, 3, 2));
+    service.try_reclaim();
+    // Snapshot 1 is retired but held by the ref: it must stay alive and
+    // intact.
+    EXPECT_EQ(service.retired_count(), 1u);
+    EXPECT_TRUE(ref->verify_integrity());
+    EXPECT_EQ(PolicySnapshot::alive_count(), baseline + 2);
+  }
+  service.try_reclaim();
+  EXPECT_EQ(service.retired_count(), 0u);
+  EXPECT_EQ(PolicySnapshot::alive_count(), baseline + 1);
+}
+
+TEST(DecisionServiceTest, DeciderAcquiresLatestSnapshot) {
+  DecisionService service(small_service(),
+                          PolicySnapshot::uniform(1, 3, 2));
+  Decider& d = service.add_decider();
+  const std::vector<double> x{0.5, 0.5};
+  EXPECT_EQ(d.decide_logged(x, 0).snapshot_id, 1u);
+  service.publish(PolicySnapshot::uniform(7, 3, 2));
+  EXPECT_EQ(d.decide_logged(x, 0).snapshot_id, 7u);
+}
+
+TEST(SnapshotTrainerTest, CollectSkipsUnlabeledAndBuffersRest) {
+  DecisionService service(small_service(),
+                          PolicySnapshot::uniform(1, 3, 2));
+  Decider& d = service.add_decider();
+  SnapshotTrainer trainer(service, {.min_rows = 4});
+  const std::vector<double> x{0.2, 0.4};
+  d.decide(x);  // unlabeled
+  d.decide(x);  // flushes previous as NaN
+  d.log_reward(1.0);
+  for (int i = 0; i < 5; ++i) d.decide_logged(x, 0.5);
+  EXPECT_EQ(trainer.collect(), 7u);
+  EXPECT_EQ(trainer.unlabeled_dropped(), 1u);
+  EXPECT_EQ(trainer.buffered_rows(), 6u);
+}
+
+TEST(SnapshotTrainerTest, TrainAndPublishLearnsTheBetterAction) {
+  DecisionService service(small_service(),
+                          PolicySnapshot::uniform(1, 3, 2));
+  Decider& d = service.add_decider();
+  SnapshotTrainer trainer(service,
+                          {.epsilon = 0.1, .min_rows = 32,
+                           .reward_range = {0, 1}});
+  util::Rng rng(21);
+  double ctx[2];
+  for (int i = 0; i < 600; ++i) {
+    ctx[0] = rng.uniform();
+    ctx[1] = rng.uniform();
+    const Decision dec = d.decide(std::span<const double>(ctx, 2));
+    // Action 1 pays best everywhere.
+    d.log_reward(dec.action == 1 ? 0.9 : 0.2);
+  }
+  trainer.collect();
+  const std::uint64_t id = trainer.train_and_publish();
+  EXPECT_EQ(id, 2u);
+  EXPECT_EQ(service.current_id(), 2u);
+  EXPECT_EQ(trainer.published(), 1u);
+  // The retrained snapshot should now pick action 1 greedily.
+  const SnapshotRef ref = d.snapshot();
+  EXPECT_EQ(ref->epsilon(), 0.1);
+  std::vector<double> x{0.5, 0.5};
+  EXPECT_EQ(ref->greedy(x), 1u);
+}
+
+TEST(SnapshotTrainerTest, RefusesToTrainOnTooFewRows) {
+  DecisionService service(small_service(),
+                          PolicySnapshot::uniform(1, 3, 2));
+  Decider& d = service.add_decider();
+  SnapshotTrainer trainer(service, {.min_rows = 100});
+  const std::vector<double> x{0.5, 0.5};
+  for (int i = 0; i < 10; ++i) d.decide_logged(x, 1.0);
+  trainer.collect();
+  EXPECT_EQ(trainer.train_and_publish(), 0u);
+  EXPECT_EQ(service.current_id(), 1u);
+}
+
+TEST(AllocGateTest, PositiveControlDetectsAllocation) {
+  const AllocGate gate;
+  auto* p = new int(42);
+  EXPECT_GE(gate.delta(), 1u);
+  delete p;
+}
+
+TEST(AllocGateTest, DecidePathIsZeroAllocation) {
+  util::Rng rng(31);
+  const auto weights = random_weights(3, 2, rng);
+  DecisionService service(small_service(1 << 8),
+                          PolicySnapshot::from_weights(1, weights, 0.1));
+  Decider& d = service.add_decider();
+  double ctx[2];
+  // Warm up (first decisions may touch lazily initialized state).
+  for (int i = 0; i < 100; ++i) {
+    ctx[0] = rng.uniform();
+    ctx[1] = rng.uniform();
+    d.decide_logged(std::span<const double>(ctx, 2), 0.5);
+  }
+  service.drain([](const DecisionRecord&) {});
+  const AllocGate gate;
+  for (int i = 0; i < 10000; ++i) {
+    ctx[0] = rng.uniform();
+    ctx[1] = rng.uniform();
+    d.decide_logged(std::span<const double>(ctx, 2), 0.5);
+  }
+  EXPECT_EQ(gate.delta(), 0u) << "decide path allocated";
+}
+
+}  // namespace
+}  // namespace harvest::serve

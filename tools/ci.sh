@@ -191,14 +191,34 @@ for needle in "per-worker utilization" "critical path" "par.task"; do
 done
 echo "ok: overhead within gate; trace analyzer reconstructs worker report"
 
+echo "==> serve: closed-loop harvest (serve -> HLOG -> retrain -> swap)"
+# Three rounds of the online loop: the retrained snapshots must lift the
+# mean reward above the round-0 uniform-randomization baseline.
+"$BUILD_DIR/tools/harvest_serve" --rounds 3 --decisions 6000 --threads 2 \
+  --workdir "$STORE_DIR/serve_loop" --check-improvement > /dev/null
+echo "ok: closed loop improves on the logging policy"
+
 if [[ -z "$SANITIZE" ]]; then
-  echo "==> obs: recorder stress under TSan"
-  # The SPSC handoff (drain-while-recording) is the race the recorder's
-  # memory ordering exists to make safe; prove it under the analyzer even
-  # on plain CI runs.
+  echo "==> serve: throughput + tail-latency + zero-allocation gate"
+  # Conservative container-safe thresholds; the committed JSON tracks the
+  # real numbers. The gate itself exits nonzero on < --min-mops decisions
+  # per second per core, p99 above --max-p99-us, or ANY decide-path
+  # allocation (counted by the harvest_allocgate allocator override).
+  "$BUILD_DIR/bench/micro_decision_latency" --serve-throughput \
+    --serve-threads 2 --serve-seconds 2 --swap-ms 5 \
+    --min-mops 1 --max-p99-us 500 --json-out BENCH_serve.json
+  echo "ok: serve gate passed; BENCH_serve.json refreshed"
+fi
+
+if [[ -z "$SANITIZE" ]]; then
+  echo "==> obs + serve: stress suites under TSan"
+  # The SPSC handoff (drain-while-recording) and the snapshot swap/reclaim
+  # protocol are the races this repo's memory orderings exist to make safe;
+  # prove both under the analyzer even on plain CI runs.
   cmake -B build-ci-obs-tsan -S . -DHARVEST_SANITIZE=thread
-  cmake --build build-ci-obs-tsan -j "$(nproc)" --target recorder_stress_tests
+  cmake --build build-ci-obs-tsan -j "$(nproc)" \
+    --target recorder_stress_tests serve_stress_tests
   ctest --test-dir build-ci-obs-tsan --output-on-failure \
-    -R 'RecorderStressTest' -j "$(nproc)"
-  echo "ok: recorder stress clean under TSan"
+    -R 'RecorderStressTest|ServeStressTest' -j "$(nproc)"
+  echo "ok: recorder + serve stress clean under TSan"
 fi
