@@ -14,12 +14,17 @@
 //  - `--serve-throughput`: the serving gate. Spins up a DecisionService
 //    with N decider threads + 1 publisher swapping snapshots + 1 drainer,
 //    measures decisions/sec/core and tail latency, verifies ZERO decide-path
-//    allocations via the harvest_allocgate counting allocator, and writes
+//    allocations via the harvest_allocgate counting allocator, measures the
+//    restart cost (persist the final snapshot to a SnapshotStore, then time
+//    a warm restart: load CURRENT + construct a resumed service — the price
+//    of crash recovery vs re-paying uniform-exploration regret), and writes
 //    BENCH_serve.json. Exits non-zero when a gate fails:
 //      --min-mops     minimum million-decisions/sec/core   (default 1.0)
 //      --max-p99-us   p99 decide latency bound in usec     (default 200)
+//    or when the warm restart fails to resume the published snapshot.
 //    Other flags: --serve-threads, --serve-seconds, --swap-ms, --actions,
-//    --dim, --epsilon, --seed, --json-out.
+//    --dim, --epsilon, --seed, --snapshot-dir (default: a temp dir),
+//    --json-out.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -32,8 +37,11 @@
 #include <thread>
 #include <vector>
 
+#include <filesystem>
+
 #include "harvest/harvest.h"
 #include "serve/alloc_gate.h"
+#include "serve/persist.h"
 #include "serve/service.h"
 #include "serve/snapshot.h"
 #include "sim/event_queue.h"
@@ -386,6 +394,53 @@ int run_serve_throughput(const util::Flags& flags) {
                         : *std::max_element(latencies.begin(), latencies.end());
   const std::uint64_t dropped = service.dropped_total();
 
+  // ---- restart cost: persist the last snapshot, time a warm restart -----
+  std::string snapdir = flags.get_string("snapshot-dir", "");
+  const bool temp_snapdir = snapdir.empty();
+  if (temp_snapdir) {
+    snapdir = (std::filesystem::temp_directory_path() /
+               ("harvest_serve_restart_" + std::to_string(seed)))
+                  .string();
+    std::error_code ec;
+    std::filesystem::remove_all(snapdir, ec);
+  }
+  double save_us = 0.0;
+  double restart_us = 0.0;
+  bool restart_resumed = false;
+  std::uint64_t restart_id = 0;
+  {
+    serve::SnapshotStore store({.dir = snapdir});
+    serve::Decider& probe = service.add_decider();
+    {
+      const auto t0 = std::chrono::steady_clock::now();
+      const serve::SnapshotRef ref = probe.snapshot();
+      store.save(*ref);
+      const auto t1 = std::chrono::steady_clock::now();
+      save_us = std::chrono::duration<double, std::micro>(t1 - t0).count();
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    serve::ResumeResult resumed = serve::resume_service(
+        {.num_actions = num_actions,
+         .dim = dim,
+         .log_capacity = 1 << 16,
+         .seed = seed},
+        store);
+    const auto t1 = std::chrono::steady_clock::now();
+    restart_us = std::chrono::duration<double, std::micro>(t1 - t0).count();
+    restart_resumed =
+        resumed.resumed && resumed.snapshot_id == service.current_id();
+    restart_id = resumed.snapshot_id;
+  }
+  if (temp_snapdir) {
+    std::error_code ec;
+    std::filesystem::remove_all(snapdir, ec);
+  }
+
+  std::printf(
+      "serve-restart: snapshot_save=%.1fus warm_restart=%.1fus "
+      "resumed_id=%llu resumed=%s\n",
+      save_us, restart_us, static_cast<unsigned long long>(restart_id),
+      restart_resumed ? "yes" : "NO");
   std::printf(
       "serve-throughput: threads=%zu wall=%.3fs decisions=%llu "
       "mops/core=%.3f p50=%.3fus p99=%.3fus max=%.3fus allocs=%llu "
@@ -411,7 +466,9 @@ int run_serve_throughput(const util::Flags& flags) {
         << "  \"decide_path_allocs\": " << allocs << ",\n"
         << "  \"dropped\": " << dropped << ",\n"
         << "  \"swaps\": " << service.swaps() << ",\n"
-        << "  \"reclaimed\": " << service.reclaimed() << "\n"
+        << "  \"reclaimed\": " << service.reclaimed() << ",\n"
+        << "  \"snapshot_save_us\": " << save_us << ",\n"
+        << "  \"warm_restart_us\": " << restart_us << "\n"
         << "}\n";
   }
 
@@ -429,6 +486,13 @@ int run_serve_throughput(const util::Flags& flags) {
     std::fprintf(stderr,
                  "GATE FAIL: %llu allocations on the decide path (want 0)\n",
                  static_cast<unsigned long long>(allocs));
+    ++failures;
+  }
+  if (!restart_resumed) {
+    std::fprintf(stderr,
+                 "GATE FAIL: warm restart did not resume the published "
+                 "snapshot (got id %llu)\n",
+                 static_cast<unsigned long long>(restart_id));
     ++failures;
   }
   return failures == 0 ? 0 : 1;

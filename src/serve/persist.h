@@ -1,0 +1,154 @@
+// Crash-safe snapshot persistence and warm restart for the decision service.
+//
+// The harvest loop only pays off if a retrained policy survives a restart:
+// a DecisionService that forgets every published PolicySnapshot falls back
+// to uniform exploration and re-pays the regret the harvest already bought
+// down. This module makes the published snapshot durable:
+//
+//   <dir>/snapshot-<id>.hsnap    one file per persisted snapshot
+//   <dir>/CURRENT                name of the snapshot to resume from
+//
+// File format (all little-endian):
+//
+//   magic   "HSNP"                     4 bytes
+//   version u32 (kSnapshotFormatVersion)
+//   payload_size u64
+//   payload_crc  u32 (CRC32C of the payload bytes)
+//   payload      PolicySnapshot::serialize() bytes
+//
+// Crash safety is write-to-temp-then-rename: both snapshot files and the
+// CURRENT pointer are written to a temporary name in the same directory and
+// atomically renamed into place, so a crash mid-write can never publish a
+// torn file — a reader sees either the old state or the new one, never a
+// prefix.
+//
+// Damage is never fatal on the load path: a file that fails the magic,
+// version, size, CRC, payload validation, or an expected-geometry check is
+// *quarantined* (renamed aside with a ".quarantined" suffix and counted, in
+// obs metrics when a registry is wired) and the store falls back — first to
+// the highest-id intact snapshot on disk, then to "empty" so the caller can
+// start from uniform exploration with a logged warning. Corruption costs a
+// warm start, not an outage.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "serve/service.h"
+#include "serve/snapshot.h"
+
+namespace harvest::obs {
+class Registry;  // obs/metrics.h; optional cold-path counters
+}
+
+namespace harvest::serve {
+
+inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+inline constexpr std::string_view kSnapshotFileMagic = "HSNP";
+inline constexpr std::string_view kSnapshotFileExt = ".hsnap";
+inline constexpr std::string_view kCurrentFileName = "CURRENT";
+inline constexpr std::string_view kQuarantineSuffix = ".quarantined";
+
+/// Frames a PolicySnapshot::serialize() payload into the versioned,
+/// CRC32C-guarded on-disk file format.
+std::string frame_snapshot_file(std::string_view payload);
+
+/// Parses and fully validates a snapshot file's bytes: magic, format
+/// version, payload size, CRC32C, then the payload itself (geometry,
+/// epsilon, weight length) via PolicySnapshot::deserialize. Throws
+/// std::invalid_argument naming the failure; a returned snapshot has passed
+/// every check before any decide can touch it.
+std::unique_ptr<const PolicySnapshot> parse_snapshot_file(
+    std::string_view bytes);
+
+/// Durable directory of published snapshots. Writers call save() on every
+/// publish; a restarted process calls load_current() to warm-start from the
+/// last published policy. All methods are cold-path and thread-safe only in
+/// the sense the filesystem is — one store instance per writer.
+class SnapshotStore {
+ public:
+  struct Options {
+    std::filesystem::path dir;
+    /// When set, exports serve_snapshot_saved_total,
+    /// serve_snapshot_quarantined_total, and serve_snapshot_loaded_total.
+    obs::Registry* registry = nullptr;
+  };
+
+  struct LoadResult {
+    /// Null when the store is empty or every candidate file was damaged.
+    std::unique_ptr<const PolicySnapshot> snapshot;
+    /// Path the snapshot was loaded from (empty when snapshot is null).
+    std::filesystem::path path;
+    /// Files quarantined while satisfying this load.
+    std::size_t quarantined = 0;
+    /// True when the CURRENT pointer itself resolved; false when the load
+    /// had to fall back to scanning the directory.
+    bool from_current = false;
+  };
+
+  /// Creates the directory if needed. Throws std::runtime_error when the
+  /// path exists but is not a directory or cannot be created.
+  explicit SnapshotStore(Options options);
+
+  /// Persists `snapshot` as snapshot-<id>.hsnap and atomically repoints
+  /// CURRENT at it (temp + rename for both). Returns the snapshot path.
+  /// Throws std::runtime_error on I/O failure.
+  std::filesystem::path save(const PolicySnapshot& snapshot);
+  /// Same, from an already serialized payload — lets a publisher serialize
+  /// under its lock and do disk I/O outside it.
+  std::filesystem::path save_bytes(std::uint64_t id, std::string_view payload);
+
+  /// Resolves CURRENT and loads its target. Any damaged file encountered
+  /// (unreadable, torn, corrupt, or failing the expected geometry when
+  /// `expect_actions`/`expect_dim` are nonzero) is quarantined and the load
+  /// falls back to the highest-id intact snapshot in the directory. Never
+  /// throws on damage; returns a null snapshot only when nothing usable
+  /// remains.
+  LoadResult load_current(std::size_t expect_actions = 0,
+                          std::size_t expect_dim = 0);
+
+  /// Loads one snapshot file, validating everything. Throws on any damage
+  /// (the quarantining policy lives in load_current, not here).
+  static std::unique_ptr<const PolicySnapshot> load_file(
+      const std::filesystem::path& path);
+
+  const std::filesystem::path& dir() const { return options_.dir; }
+  std::uint64_t saved() const { return saved_; }
+  std::uint64_t quarantined() const { return quarantined_; }
+
+ private:
+  /// Renames `file` aside with the quarantine suffix (best-effort; the file
+  /// is counted even when the rename fails) and bumps counters.
+  void quarantine(const std::filesystem::path& file, const std::string& why);
+  std::unique_ptr<const PolicySnapshot> try_load(
+      const std::filesystem::path& path, std::size_t expect_actions,
+      std::size_t expect_dim, std::size_t* quarantined);
+
+  Options options_;
+  std::uint64_t saved_ = 0;
+  std::uint64_t quarantined_ = 0;
+};
+
+/// What resume_service() did: the service plus the provenance a driver
+/// needs to report ("resumed from snapshot id=K" vs "fell back to uniform").
+struct ResumeResult {
+  std::unique_ptr<DecisionService> service;
+  /// True when the service starts from a persisted snapshot; false when it
+  /// fell back to uniform exploration (empty or fully damaged store).
+  bool resumed = false;
+  /// Id of the snapshot the service is serving at construction.
+  std::uint64_t snapshot_id = 0;
+  std::size_t quarantined = 0;
+};
+
+/// Constructs a DecisionService from the store: resume from CURRENT when an
+/// intact, geometry-matching snapshot exists, otherwise fall back to
+/// PolicySnapshot::uniform(1, ...) with a warning on stderr. Corrupt files
+/// are quarantined by the store; this never throws on damage.
+ResumeResult resume_service(DecisionService::Options options,
+                            SnapshotStore& store);
+
+}  // namespace harvest::serve

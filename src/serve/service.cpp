@@ -90,7 +90,13 @@ Decision Decider::decide(std::span<const double> context) {
 }
 
 void Decider::log_reward(double reward) {
-  if (!staged_valid_) return;
+  if (!staged_valid_) {
+    // The staged record was already flushed (a later decide() pushed it as
+    // NaN) or nothing was ever staged: count the late reward instead of
+    // silently ignoring it, so drain-side accounting stays conservative.
+    orphaned_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   staged_.reward = reward;
   push(staged_);
   staged_valid_ = false;
@@ -147,6 +153,7 @@ DecisionService::DecisionService(Options options,
   }
   ring_capacity_ = round_pow2(std::max<std::size_t>(options_.log_capacity, 2));
   published_ids_.insert(initial->id());
+  next_id_ = initial->id() + 1;
   current_owner_ = std::move(initial);
   current_.store(current_owner_.get(), std::memory_order_release);
 }
@@ -167,17 +174,20 @@ std::size_t DecisionService::num_deciders() const {
   return deciders_.size();
 }
 
-std::uint64_t DecisionService::publish(
-    std::unique_ptr<const PolicySnapshot> next) {
-  if (next == nullptr || next->num_actions() != options_.num_actions ||
-      next->dim() != options_.dim) {
+void DecisionService::validate_snapshot(const PolicySnapshot* snap) const {
+  if (snap == nullptr || snap->num_actions() != options_.num_actions ||
+      snap->dim() != options_.dim) {
     throw std::invalid_argument(
         "DecisionService: published snapshot does not match the service "
         "geometry");
   }
-  std::lock_guard<std::mutex> lock(publish_mu_);
+}
+
+std::uint64_t DecisionService::publish_locked(
+    std::unique_ptr<const PolicySnapshot> next) {
   const PolicySnapshot* raw = next.get();
   published_ids_.insert(raw->id());
+  next_id_ = std::max(next_id_, raw->id() + 1);
   retired_.push_back(std::move(current_owner_));
   current_owner_ = std::move(next);
   current_.store(raw, std::memory_order_seq_cst);
@@ -194,6 +204,31 @@ std::uint64_t DecisionService::publish(
         .add(static_cast<double>(freed));
   }
   return raw->id();
+}
+
+std::uint64_t DecisionService::publish(
+    std::unique_ptr<const PolicySnapshot> next) {
+  validate_snapshot(next.get());
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  return publish_locked(std::move(next));
+}
+
+std::uint64_t DecisionService::publish_with(
+    const std::function<std::unique_ptr<const PolicySnapshot>(std::uint64_t)>&
+        make) {
+  // The id is minted and consumed under the same hold of publish_mu_, so
+  // two racing publishers serialize and can never build snapshots with the
+  // same id. `make` (typically a retrain flatten) runs under the lock —
+  // cold-path work that blocks other publishers, never deciders.
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  const std::uint64_t id = next_id_;
+  std::unique_ptr<const PolicySnapshot> next = make(id);
+  validate_snapshot(next.get());
+  if (next->id() != id) {
+    throw std::invalid_argument(
+        "DecisionService: publish_with callback ignored the assigned id");
+  }
+  return publish_locked(std::move(next));
 }
 
 std::size_t DecisionService::try_reclaim() {
@@ -266,6 +301,7 @@ ServeDrainStats DecisionService::drain(
   for (Decider* d : deciders) stats.drained += d->drain_into(fn);
   drained_total_.fetch_add(stats.drained, std::memory_order_relaxed);
   stats.dropped_total = dropped_total();
+  stats.orphaned_rewards = orphaned_total();
   if (options_.registry != nullptr && stats.drained > 0) {
     options_.registry->counter("serve_drained_total")
         .add(static_cast<double>(stats.drained));
@@ -284,6 +320,13 @@ std::uint64_t DecisionService::dropped_total() const {
   std::lock_guard<std::mutex> lock(deciders_mu_);
   std::uint64_t total = 0;
   for (const auto& d : deciders_) total += d->dropped();
+  return total;
+}
+
+std::uint64_t DecisionService::orphaned_total() const {
+  std::lock_guard<std::mutex> lock(deciders_mu_);
+  std::uint64_t total = 0;
+  for (const auto& d : deciders_) total += d->orphaned();
   return total;
 }
 

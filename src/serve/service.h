@@ -80,10 +80,13 @@ struct DecisionRecord {
 };
 
 /// drain() outcome: records delivered this call plus the service-lifetime
-/// drop counter (records lost to full rings, never silently).
+/// loss counters — records lost to full rings, and log_reward() calls that
+/// arrived after their staged record was already flushed (both counted,
+/// never silent).
 struct ServeDrainStats {
   std::size_t drained = 0;
   std::uint64_t dropped_total = 0;
+  std::uint64_t orphaned_rewards = 0;
 };
 
 class DecisionService;
@@ -132,7 +135,9 @@ class Decider {
   Decision decide(std::span<const double> context);
 
   /// Completes the staged tuple with the observed reward and pushes it to
-  /// the ring (dropped + counted when full). Zero-allocation.
+  /// the ring (dropped + counted when full). A reward arriving after the
+  /// staged record was already flushed (the next decide() pushed it as NaN)
+  /// is counted as orphaned, never silently ignored. Zero-allocation.
   void log_reward(double reward);
 
   /// decide() + log_reward() in one call, for callers that know the reward
@@ -156,6 +161,10 @@ class Decider {
   }
   std::uint64_t dropped() const {
     return dropped_.load(std::memory_order_relaxed);
+  }
+  /// log_reward() calls that found no staged decision (already flushed).
+  std::uint64_t orphaned() const {
+    return orphaned_.load(std::memory_order_relaxed);
   }
 
   util::Rng& rng() { return rng_; }
@@ -185,6 +194,7 @@ class Decider {
   bool staged_valid_ = false;
   std::uint64_t decided_ = 0;
   std::uint64_t seq_ = 0;
+  std::atomic<std::uint64_t> orphaned_{0};
 
   // SPSC ring: this decider pushes, any thread may drain (one at a time).
   std::vector<DecisionRecord> slots_;
@@ -233,8 +243,21 @@ class DecisionService {
   // ---- publisher side ---------------------------------------------------
   /// Atomically swaps the published snapshot; the old one is retired and
   /// reclaimed once no decider holds it. Never blocks deciders; returns the
-  /// published id. Thread-safe (single swap at a time via internal mutex).
+  /// published id. Thread-safe (single swap at a time via internal mutex);
+  /// the service's internal id counter advances past the published id, so
+  /// explicit-id publishes compose with publish_with().
   std::uint64_t publish(std::unique_ptr<const PolicySnapshot> next);
+
+  /// Race-free id assignment: mints the next unused snapshot id under the
+  /// publish lock, calls `make(id)` to build the snapshot (which must carry
+  /// exactly that id — snapshot ids are baked into the integrity checksum,
+  /// so they cannot be patched after construction), and publishes it. Two
+  /// racing publishers can never mint the same id; callers read the
+  /// assigned id back from the return value. Throws std::invalid_argument
+  /// when `make` returns a null, mismatched-geometry, or wrong-id snapshot.
+  std::uint64_t publish_with(
+      const std::function<std::unique_ptr<const PolicySnapshot>(std::uint64_t)>&
+          make);
   /// Frees retired snapshots no hazard slot references; returns how many.
   std::size_t try_reclaim();
   /// Spins (with yields) until every retired snapshot is reclaimed. Only
@@ -262,12 +285,17 @@ class DecisionService {
 
   std::uint64_t decided_total() const;
   std::uint64_t dropped_total() const;
+  /// log_reward() calls across all deciders that found nothing staged.
+  std::uint64_t orphaned_total() const;
 
  private:
   friend class Decider;
 
   /// Frees unheld retired snapshots; caller holds publish_mu_.
   std::size_t reclaim_locked();
+  /// Swap + retire + reclaim; caller holds publish_mu_ and has validated.
+  std::uint64_t publish_locked(std::unique_ptr<const PolicySnapshot> next);
+  void validate_snapshot(const PolicySnapshot* snap) const;
 
   Options options_;
   std::size_t ring_capacity_ = 0;
@@ -278,6 +306,7 @@ class DecisionService {
   std::unique_ptr<const PolicySnapshot> current_owner_;  // guarded
   std::vector<std::unique_ptr<const PolicySnapshot>> retired_;  // guarded
   std::unordered_set<std::uint64_t> published_ids_;             // guarded
+  std::uint64_t next_id_ = 0;  ///< next id publish_with() mints; guarded
   std::atomic<std::uint64_t> swaps_{0};
   std::atomic<std::uint64_t> reclaimed_{0};
 

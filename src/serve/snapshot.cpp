@@ -38,6 +38,28 @@ void append_u64(std::string& out, std::uint64_t v) {
   }
 }
 
+std::uint32_t read_u32(std::string_view bytes, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[at + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t read_u64(std::string_view bytes, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(bytes[at + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+/// serialize() layout: "SNAP" + id:u64 + num_actions:u32 + dim:u32 +
+/// epsilon:f64 bits, then num_actions*(dim+1) weight bit patterns.
+constexpr std::size_t kPayloadHeaderBytes = 4 + 8 + 4 + 4 + 8;
+
 }  // namespace
 
 PolicySnapshot::PolicySnapshot(std::uint64_t id, std::size_t num_actions,
@@ -135,6 +157,42 @@ std::string PolicySnapshot::serialize() const {
     append_u64(out, std::bit_cast<std::uint64_t>(w));
   }
   return out;
+}
+
+std::unique_ptr<const PolicySnapshot> PolicySnapshot::deserialize(
+    std::string_view bytes) {
+  if (bytes.size() < kPayloadHeaderBytes) {
+    throw std::invalid_argument("PolicySnapshot: truncated payload");
+  }
+  if (bytes.substr(0, 4) != "SNAP") {
+    throw std::invalid_argument("PolicySnapshot: bad payload magic");
+  }
+  const std::uint64_t id = read_u64(bytes, 4);
+  const std::uint32_t num_actions = read_u32(bytes, 12);
+  const std::uint32_t dim = read_u32(bytes, 16);
+  const double epsilon = std::bit_cast<double>(read_u64(bytes, 20));
+  if (num_actions == 0) {
+    throw std::invalid_argument("PolicySnapshot: payload has zero actions");
+  }
+  // Overflow-safe expected size: geometry fields are u32, so the product
+  // fits in u64 with room to spare.
+  const std::uint64_t count =
+      static_cast<std::uint64_t>(num_actions) * (static_cast<std::uint64_t>(dim) + 1);
+  if (bytes.size() != kPayloadHeaderBytes + count * 8) {
+    throw std::invalid_argument(
+        "PolicySnapshot: payload length does not match its geometry");
+  }
+  std::vector<double> weights;
+  weights.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    weights.push_back(std::bit_cast<double>(
+        read_u64(bytes, kPayloadHeaderBytes + i * 8)));
+  }
+  // The constructor re-validates epsilon (rejecting NaN and out-of-range)
+  // and recomputes the checksum/canary, so a returned snapshot is always
+  // fully live.
+  return std::make_unique<const PolicySnapshot>(id, num_actions, dim,
+                                                std::move(weights), epsilon);
 }
 
 std::unique_ptr<const PolicySnapshot> PolicySnapshot::from_weights(

@@ -23,6 +23,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/types.h"
@@ -81,6 +82,16 @@ class PolicySnapshot {
   /// identical decisions — the determinism suite compares these bytes
   /// across trainer thread counts.
   std::string serialize() const;
+
+  /// Inverse of serialize(): reconstructs a snapshot from its exact byte
+  /// form, validating the payload magic, geometry, epsilon range, and
+  /// weight-array length before the object exists — a loaded snapshot that
+  /// passes is indistinguishable from the one that was saved
+  /// (deserialize(serialize()) round-trips bit-identically, NaN and -0.0
+  /// weights included). Throws std::invalid_argument on any malformation;
+  /// never constructs a partially valid snapshot.
+  static std::unique_ptr<const PolicySnapshot> deserialize(
+      std::string_view bytes);
 
   /// True while the construction-time checksum still matches the live
   /// canary and the weight bytes. A torn concurrent read or a use after

@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -25,6 +26,8 @@
 #include "serve/snapshot.h"
 
 namespace harvest::serve {
+
+class SnapshotStore;  // persist.h; optional durable snapshot directory
 
 class SnapshotTrainer {
  public:
@@ -40,6 +43,12 @@ class SnapshotTrainer {
     /// When positive, only the most recent `window_rows` labeled tuples are
     /// kept (sliding window over the decision stream); 0 keeps everything.
     std::size_t window_rows = 0;
+    /// When set, every successfully published snapshot is also persisted to
+    /// the store (serialized under the publish lock, written outside it), so
+    /// a restarted service can warm-start from the last published policy. A
+    /// persistence failure is counted and logged, never fatal — the
+    /// in-memory publish already happened.
+    SnapshotStore* store = nullptr;
   };
 
   SnapshotTrainer(DecisionService& service, Options options);
@@ -48,14 +57,24 @@ class SnapshotTrainer {
   SnapshotTrainer(const SnapshotTrainer&) = delete;
   SnapshotTrainer& operator=(const SnapshotTrainer&) = delete;
 
-  /// Drains the service rings into the trainer's buffer. Reward-less tuples
-  /// (NaN — decide() with no log_reward()) are counted and skipped; they
-  /// carry no label to learn from. Returns records drained this call.
+  /// Drains the service rings into the trainer's buffer via ingest().
+  /// Returns records drained this call.
   std::size_t collect();
 
-  /// Retrains on the buffered tuples and publishes the result as snapshot
-  /// current_id()+1. Returns the published id, or 0 without publishing when
-  /// fewer than min_rows labeled tuples are buffered.
+  /// Validates and buffers one drained record: reward-less tuples (NaN —
+  /// decide() with no log_reward()) and records whose `dim` disagrees with
+  /// the service geometry are counted and skipped, never trained on (a
+  /// truncated context would silently corrupt the ridge fit). Returns true
+  /// when the record was buffered. Thread-safe; public so tests can feed
+  /// records directly.
+  bool ingest(const DecisionRecord& rec);
+
+  /// Retrains on the buffered tuples and publishes the result under the
+  /// service's race-free id assignment (DecisionService::publish_with), so
+  /// concurrent publishers can never mint duplicate snapshot ids. Returns
+  /// the assigned id read back from the publish, or 0 without publishing
+  /// when fewer than min_rows labeled tuples are buffered. When a store is
+  /// configured, the published snapshot is persisted as well.
   std::uint64_t train_and_publish();
 
   /// The retrain step alone: importance-weighted ridge on `data`, flattened
@@ -71,6 +90,9 @@ class SnapshotTrainer {
   /// Deciders are never blocked; they just keep reading whichever snapshot
   /// is current. stop() joins the thread (also called by the destructor).
   void start(std::chrono::milliseconds period);
+  /// Returns promptly: the worker waits on a condition variable, so stop()
+  /// interrupts an in-progress sleep instead of blocking for up to a full
+  /// period. A retrain already underway still runs to completion.
   void stop();
   bool running() const { return running_.load(std::memory_order_acquire); }
 
@@ -82,8 +104,19 @@ class SnapshotTrainer {
   std::uint64_t unlabeled_dropped() const {
     return unlabeled_.load(std::memory_order_relaxed);
   }
+  /// Tuples dropped because rec.dim disagreed with the service dim.
+  std::uint64_t dim_mismatch_dropped() const {
+    return dim_mismatch_.load(std::memory_order_relaxed);
+  }
   std::uint64_t published() const {
     return published_.load(std::memory_order_relaxed);
+  }
+  /// Snapshots persisted to the store / persistence attempts that failed.
+  std::uint64_t persisted() const {
+    return persisted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t persist_failures() const {
+    return persist_failures_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -95,11 +128,16 @@ class SnapshotTrainer {
 
   std::atomic<std::uint64_t> collected_{0};
   std::atomic<std::uint64_t> unlabeled_{0};
+  std::atomic<std::uint64_t> dim_mismatch_{0};
   std::atomic<std::uint64_t> published_{0};
+  std::atomic<std::uint64_t> persisted_{0};
+  std::atomic<std::uint64_t> persist_failures_{0};
 
   std::thread worker_;
   std::atomic<bool> running_{false};
-  std::atomic<bool> stop_requested_{false};
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;  // guarded by stop_mu_
 };
 
 }  // namespace harvest::serve

@@ -1,0 +1,322 @@
+// Persistence properties for the snapshot store: serialize→save→load→
+// serialize must be bit-identical (NaN and -0.0 weights included), damaged
+// files must be rejected and quarantined (never crash, never decide), and a
+// service resumed from disk must make bit-identical decisions to one handed
+// the original snapshot directly.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/persist.h"
+#include "serve/service.h"
+#include "serve/snapshot.h"
+#include "serve/trainer.h"
+#include "util/rng.h"
+
+namespace harvest::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+class PersistTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           (std::string("serve_persist_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+/// Random snapshot whose weights include the bit patterns that break naive
+/// text round trips: NaN, -0.0, +/-inf, and denormals.
+std::unique_ptr<const PolicySnapshot> random_snapshot(std::uint64_t id,
+                                                      util::Rng& rng) {
+  const std::size_t num_actions = 1 + rng.uniform_index(6);
+  const std::size_t dim = rng.uniform_index(kMaxContextDim + 1);
+  std::vector<double> weights(num_actions * (dim + 1));
+  for (auto& w : weights) {
+    switch (rng.uniform_index(8)) {
+      case 0: w = std::numeric_limits<double>::quiet_NaN(); break;
+      case 1: w = -0.0; break;
+      case 2: w = std::numeric_limits<double>::infinity(); break;
+      case 3: w = -std::numeric_limits<double>::infinity(); break;
+      case 4: w = std::numeric_limits<double>::denorm_min(); break;
+      default: w = rng.uniform(-10, 10); break;
+    }
+  }
+  return std::make_unique<const PolicySnapshot>(id, num_actions, dim,
+                                                std::move(weights),
+                                                rng.uniform());
+}
+
+void corrupt_byte(const fs::path& path, std::size_t offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good());
+  f.seekg(static_cast<std::streamoff>(offset));
+  char c = 0;
+  f.read(&c, 1);
+  f.seekp(static_cast<std::streamoff>(offset));
+  c = static_cast<char>(c ^ 0x5A);
+  f.write(&c, 1);
+}
+
+std::string current_target(const fs::path& dir) {
+  std::ifstream in(dir / std::string(kCurrentFileName));
+  std::string name;
+  std::getline(in, name);
+  return name;
+}
+
+TEST_F(PersistTest, SaveLoadRoundTripIsBitIdentical) {
+  util::Rng rng(101);
+  SnapshotStore store({.dir = dir_});
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto snap = random_snapshot(static_cast<std::uint64_t>(trial + 1),
+                                      rng);
+    const std::string before = snap->serialize();
+    const fs::path path = store.save(*snap);
+    const auto loaded = SnapshotStore::load_file(path);
+    ASSERT_NE(loaded, nullptr);
+    // Bit-identical serialization — NaN payloads, -0.0, infinities, and
+    // denormals survive exactly.
+    EXPECT_EQ(loaded->serialize(), before);
+    EXPECT_TRUE(loaded->verify_integrity());
+    EXPECT_EQ(loaded->id(), snap->id());
+    EXPECT_EQ(loaded->num_actions(), snap->num_actions());
+    EXPECT_EQ(loaded->dim(), snap->dim());
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(loaded->epsilon()),
+              std::bit_cast<std::uint64_t>(snap->epsilon()));
+  }
+  EXPECT_EQ(store.saved(), 60u);
+  EXPECT_EQ(store.quarantined(), 0u);
+  // Atomic writes leave no temporaries behind: only snapshots + CURRENT.
+  std::size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    ++files;
+    const std::string name = entry.path().filename().string();
+    EXPECT_TRUE(name == kCurrentFileName ||
+                entry.path().extension() == kSnapshotFileExt)
+        << "unexpected file " << name;
+  }
+  EXPECT_EQ(files, 61u);
+}
+
+TEST_F(PersistTest, DeserializeRejectsMalformedPayloads) {
+  util::Rng rng(7);
+  const auto snap = random_snapshot(9, rng);
+  const std::string good = snap->serialize();
+
+  EXPECT_THROW(PolicySnapshot::deserialize(""), std::invalid_argument);
+  EXPECT_THROW(PolicySnapshot::deserialize(good.substr(0, 10)),
+               std::invalid_argument);
+  // Truncated weights.
+  EXPECT_THROW(PolicySnapshot::deserialize(good.substr(0, good.size() - 8)),
+               std::invalid_argument);
+  // Trailing garbage.
+  EXPECT_THROW(PolicySnapshot::deserialize(good + "x"),
+               std::invalid_argument);
+  // Bad magic.
+  std::string bad = good;
+  bad[0] = 'X';
+  EXPECT_THROW(PolicySnapshot::deserialize(bad), std::invalid_argument);
+  // Epsilon out of [0, 1] (bit pattern of 2.0 spliced into the header).
+  bad = good;
+  const std::uint64_t two = std::bit_cast<std::uint64_t>(2.0);
+  for (int i = 0; i < 8; ++i) {
+    bad[20 + i] = static_cast<char>((two >> (8 * i)) & 0xFF);
+  }
+  EXPECT_THROW(PolicySnapshot::deserialize(bad), std::invalid_argument);
+}
+
+TEST_F(PersistTest, ParseSnapshotFileValidatesFraming) {
+  util::Rng rng(8);
+  const auto snap = random_snapshot(3, rng);
+  const std::string file = frame_snapshot_file(snap->serialize());
+
+  EXPECT_NE(parse_snapshot_file(file), nullptr);
+  EXPECT_THROW(parse_snapshot_file(file.substr(0, 12)),
+               std::invalid_argument);
+  EXPECT_THROW(parse_snapshot_file(file.substr(0, file.size() - 1)),
+               std::invalid_argument);
+  std::string bad = file;
+  bad[1] = 'x';  // magic
+  EXPECT_THROW(parse_snapshot_file(bad), std::invalid_argument);
+  bad = file;
+  bad[4] = 9;  // unsupported version
+  EXPECT_THROW(parse_snapshot_file(bad), std::invalid_argument);
+  bad = file;
+  bad[file.size() - 1] = static_cast<char>(bad[file.size() - 1] ^ 1);  // CRC
+  EXPECT_THROW(parse_snapshot_file(bad), std::invalid_argument);
+}
+
+TEST_F(PersistTest, CorruptedCurrentTargetQuarantinedWithFallback) {
+  util::Rng rng(21);
+  SnapshotStore store({.dir = dir_});
+  const auto older = random_snapshot(4, rng);
+  const auto newer = random_snapshot(5, rng);
+  store.save(*older);
+  const fs::path newest = store.save(*newer);
+  ASSERT_EQ(current_target(dir_), newest.filename().string());
+
+  // Flip one payload byte of the CURRENT target: the CRC must catch it, the
+  // file must be renamed aside, and the load must fall back to the older
+  // intact snapshot.
+  corrupt_byte(newest, 40);
+  SnapshotStore::LoadResult result = store.load_current();
+  ASSERT_NE(result.snapshot, nullptr);
+  EXPECT_EQ(result.snapshot->id(), 4u);
+  EXPECT_EQ(result.snapshot->serialize(), older->serialize());
+  EXPECT_FALSE(result.from_current);
+  EXPECT_EQ(result.quarantined, 1u);
+  EXPECT_EQ(store.quarantined(), 1u);
+  EXPECT_FALSE(fs::exists(newest));
+  EXPECT_TRUE(fs::exists(newest.string() + std::string(kQuarantineSuffix)));
+}
+
+TEST_F(PersistTest, TruncatedOnlySnapshotYieldsEmptyStoreAndUniformFallback) {
+  util::Rng rng(22);
+  SnapshotStore store({.dir = dir_});
+  const auto snap = PolicySnapshot::from_weights(
+      7, {{0.4, 0.1, 0.2}, {0.1, 0.0, 0.3}, {0.0, 0.2, 0.1}}, 0.2);
+  const fs::path path = store.save(*snap);
+  fs::resize_file(path, 10);  // torn write without the atomic rename
+
+  SnapshotStore::LoadResult result = store.load_current();
+  EXPECT_EQ(result.snapshot, nullptr);
+  EXPECT_EQ(result.quarantined, 1u);
+
+  // resume_service falls back to uniform exploration, never crashes.
+  ResumeResult resumed =
+      resume_service({.num_actions = 3, .dim = 2, .seed = 5}, store);
+  ASSERT_NE(resumed.service, nullptr);
+  EXPECT_FALSE(resumed.resumed);
+  EXPECT_EQ(resumed.service->current_id(), 1u);
+  Decider& d = resumed.service->add_decider();
+  const std::vector<double> x{0.5, 0.5};
+  EXPECT_EQ(d.decide(x).propensity, 1.0 / 3.0);  // uniform
+}
+
+TEST_F(PersistTest, DanglingCurrentPointerFallsBackToScan) {
+  util::Rng rng(23);
+  SnapshotStore store({.dir = dir_});
+  const auto snap = random_snapshot(11, rng);
+  store.save(*snap);
+  // CURRENT names a file that does not exist (e.g. a crash between manual
+  // cleanup steps); the scan must still find the intact snapshot.
+  std::ofstream(dir_ / std::string(kCurrentFileName))
+      << "snapshot-99999999999999999999.hsnap\n";
+  SnapshotStore::LoadResult result = store.load_current();
+  ASSERT_NE(result.snapshot, nullptr);
+  EXPECT_EQ(result.snapshot->id(), 11u);
+  EXPECT_FALSE(result.from_current);
+  EXPECT_EQ(result.quarantined, 0u);
+}
+
+TEST_F(PersistTest, GeometryMismatchedSnapshotIsQuarantined) {
+  SnapshotStore store({.dir = dir_});
+  store.save(*PolicySnapshot::uniform(3, 4, 6));  // 4 actions, dim 6
+  SnapshotStore::LoadResult result = store.load_current(3, 2);
+  EXPECT_EQ(result.snapshot, nullptr);
+  EXPECT_EQ(result.quarantined, 1u);
+  // Without the geometry expectation the same file loads fine.
+  SnapshotStore store2({.dir = dir_});
+  store2.save(*PolicySnapshot::uniform(3, 4, 6));
+  EXPECT_NE(store2.load_current().snapshot, nullptr);
+}
+
+TEST_F(PersistTest, ResumedServiceDecidesBitIdenticallyAtFixedSeed) {
+  util::Rng wrng(31);
+  std::vector<std::vector<double>> weights(3, std::vector<double>(5));
+  for (auto& row : weights) {
+    for (auto& v : row) v = wrng.uniform(-1, 1);
+  }
+  const std::uint64_t seed = 77;
+  const std::size_t dim = 4;
+
+  // Uninterrupted: a service handed the snapshot object directly.
+  DecisionService direct({.num_actions = 3, .dim = dim, .seed = seed},
+                         PolicySnapshot::from_weights(7, weights, 0.2));
+  // Warm restart: the same snapshot persisted, then loaded from disk.
+  SnapshotStore store({.dir = dir_});
+  store.save(*PolicySnapshot::from_weights(7, weights, 0.2));
+  ResumeResult resumed =
+      resume_service({.num_actions = 3, .dim = dim, .seed = seed}, store);
+  ASSERT_TRUE(resumed.resumed);
+  EXPECT_EQ(resumed.snapshot_id, 7u);
+
+  Decider& a = direct.add_decider();
+  Decider& b = resumed.service->add_decider();
+  util::Rng ctx_rng(1234);
+  std::vector<double> x(dim);
+  for (int i = 0; i < 500; ++i) {
+    for (auto& v : x) v = ctx_rng.uniform();
+    const Decision da = a.decide(x);
+    const Decision db = b.decide(x);
+    a.log_reward(0.5);
+    b.log_reward(0.5);
+    ASSERT_EQ(da.action, db.action) << "decision " << i;
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(da.propensity),
+              std::bit_cast<std::uint64_t>(db.propensity));
+    ASSERT_EQ(da.snapshot_id, db.snapshot_id);
+  }
+  // The logged streams match field for field as well.
+  std::vector<DecisionRecord> ra, rb;
+  direct.drain([&ra](const DecisionRecord& r) { ra.push_back(r); });
+  resumed.service->drain([&rb](const DecisionRecord& r) { rb.push_back(r); });
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].action, rb[i].action);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(ra[i].propensity),
+              std::bit_cast<std::uint64_t>(rb[i].propensity));
+    EXPECT_EQ(ra[i].snapshot_id, rb[i].snapshot_id);
+    EXPECT_EQ(ra[i].time, rb[i].time);
+  }
+}
+
+TEST_F(PersistTest, TrainerPersistsEveryPublish) {
+  SnapshotStore store({.dir = dir_});
+  DecisionService service({.num_actions = 3, .dim = 2, .seed = 77},
+                          PolicySnapshot::uniform(1, 3, 2));
+  Decider& d = service.add_decider();
+  SnapshotTrainer trainer(service,
+                          {.epsilon = 0.1,
+                           .min_rows = 32,
+                           .reward_range = {0, 1},
+                           .store = &store});
+  util::Rng rng(55);
+  double ctx[2];
+  for (int i = 0; i < 400; ++i) {
+    ctx[0] = rng.uniform();
+    ctx[1] = rng.uniform();
+    const Decision dec = d.decide(std::span<const double>(ctx, 2));
+    d.log_reward(dec.action == 2 ? 0.9 : 0.1);
+  }
+  trainer.collect();
+  const std::uint64_t id = trainer.train_and_publish();
+  EXPECT_EQ(id, 2u);
+  EXPECT_EQ(trainer.persisted(), 1u);
+  EXPECT_EQ(trainer.persist_failures(), 0u);
+
+  // What landed on disk is byte-for-byte the published snapshot.
+  SnapshotStore::LoadResult loaded = store.load_current(3, 2);
+  ASSERT_NE(loaded.snapshot, nullptr);
+  EXPECT_TRUE(loaded.from_current);
+  EXPECT_EQ(loaded.snapshot->id(), 2u);
+  const SnapshotRef live = d.snapshot();
+  EXPECT_EQ(loaded.snapshot->serialize(), live->serialize());
+}
+
+}  // namespace
+}  // namespace harvest::serve

@@ -4,8 +4,11 @@
 // counting gate this binary links via harvest_allocgate).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "core/policies/greedy.h"
@@ -142,10 +145,46 @@ TEST(DecisionServiceTest, RingAccountingIsExact) {
   EXPECT_EQ(stats.drained, 8u);
   EXPECT_EQ(drained, 8u);
   EXPECT_EQ(stats.dropped_total, 92u);
+  EXPECT_EQ(stats.orphaned_rewards, 0u);
 
   // Ring empty again: the next decisions all fit.
   for (int i = 0; i < 8; ++i) d.decide_logged(x, 1.0);
   EXPECT_EQ(d.dropped(), 92u);
+
+  // Conservation with orphans in the mix: a reward arriving with nothing
+  // staged is counted as orphaned and changes no other ledger. Every
+  // decision is still accounted for exactly once.
+  d.log_reward(0.25);  // nothing staged: decide_logged consumed it
+  d.log_reward(0.75);
+  EXPECT_EQ(d.orphaned(), 2u);
+  EXPECT_EQ(d.decided(), 108u);
+  const ServeDrainStats stats2 = service.drain([](const DecisionRecord&) {});
+  EXPECT_EQ(stats2.orphaned_rewards, 2u);
+  EXPECT_EQ(stats2.dropped_total, 92u);
+  // decided == pushed + dropped (no staged record pending).
+  EXPECT_EQ(d.decided(), d.logged() + d.dropped());
+}
+
+TEST(DecisionServiceTest, LateRewardAfterNaNFlushIsOrphaned) {
+  // The exact satellite scenario: decide, never report, decide again (the
+  // staged record flushes as NaN), then the late reward arrives. It must be
+  // counted, not silently ignored.
+  DecisionService service(small_service(),
+                          PolicySnapshot::uniform(1, 3, 2));
+  Decider& d = service.add_decider();
+  const std::vector<double> x{0.1, 0.2};
+  d.decide(x);
+  d.decide(x);          // flushes the first as NaN
+  d.log_reward(0.5);    // labels the second
+  d.log_reward(0.9);    // late: its record is already gone
+  EXPECT_EQ(d.orphaned(), 1u);
+  std::vector<DecisionRecord> records;
+  const ServeDrainStats stats = service.drain(
+      [&records](const DecisionRecord& r) { records.push_back(r); });
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_TRUE(std::isnan(records[0].reward));
+  EXPECT_EQ(records[1].reward, 0.5);
+  EXPECT_EQ(stats.orphaned_rewards, 1u);
 }
 
 TEST(DecisionServiceTest, UnreportedDecisionFlushedAsNaN) {
@@ -221,6 +260,52 @@ TEST(DecisionServiceTest, HeldRefBlocksReclamation) {
   EXPECT_EQ(PolicySnapshot::alive_count(), baseline + 1);
 }
 
+TEST(DecisionServiceTest, PublishWithMintsSequentialIds) {
+  DecisionService service(small_service(),
+                          PolicySnapshot::uniform(1, 3, 2));
+  const auto make = [](std::uint64_t id) {
+    return PolicySnapshot::uniform(id, 3, 2);
+  };
+  EXPECT_EQ(service.publish_with(make), 2u);
+  EXPECT_EQ(service.publish_with(make), 3u);
+  // An explicit-id publish advances the internal counter past it.
+  service.publish(PolicySnapshot::uniform(10, 3, 2));
+  EXPECT_EQ(service.publish_with(make), 11u);
+  // A callback that ignores the assigned id is refused.
+  EXPECT_THROW(service.publish_with([](std::uint64_t) {
+                 return PolicySnapshot::uniform(999, 3, 2);
+               }),
+               std::invalid_argument);
+}
+
+TEST(DecisionServiceTest, RacingPublishersNeverMintDuplicateIds) {
+  // The satellite bug: computing current_id() + 1 outside the publish lock
+  // let two racing publishers mint the same id. publish_with() assigns the
+  // id inside the lock, so every publish gets a distinct one.
+  DecisionService service(small_service(),
+                          PolicySnapshot::uniform(1, 3, 2));
+  constexpr int kPerThread = 50;
+  std::vector<std::uint64_t> ids(2 * kPerThread, 0);
+  std::vector<std::thread> publishers;
+  for (int t = 0; t < 2; ++t) {
+    publishers.emplace_back([&service, &ids, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ids[static_cast<std::size_t>(t * kPerThread + i)] =
+            service.publish_with([](std::uint64_t id) {
+              return PolicySnapshot::uniform(id, 3, 2);
+            });
+      }
+    });
+  }
+  for (auto& p : publishers) p.join();
+  std::sort(ids.begin(), ids.end());
+  EXPECT_TRUE(std::adjacent_find(ids.begin(), ids.end()) == ids.end())
+      << "duplicate snapshot id minted by racing publishers";
+  EXPECT_EQ(ids.front(), 2u);
+  EXPECT_EQ(ids.back(), 1u + 2 * kPerThread);
+  service.reclaim_all();
+}
+
 TEST(DecisionServiceTest, DeciderAcquiresLatestSnapshot) {
   DecisionService service(small_service(),
                           PolicySnapshot::uniform(1, 3, 2));
@@ -272,6 +357,45 @@ TEST(SnapshotTrainerTest, TrainAndPublishLearnsTheBetterAction) {
   EXPECT_EQ(ref->epsilon(), 0.1);
   std::vector<double> x{0.5, 0.5};
   EXPECT_EQ(ref->greedy(x), 1u);
+}
+
+TEST(SnapshotTrainerTest, IngestSkipsAndCountsDimMismatchedRecords) {
+  // A record whose dim disagrees with the service geometry must be skipped
+  // and counted, never silently truncated into the training buffer.
+  DecisionService service(small_service(),
+                          PolicySnapshot::uniform(1, 3, 2));
+  SnapshotTrainer trainer(service, {.min_rows = 4});
+  DecisionRecord rec;
+  rec.reward = 0.5;
+  rec.propensity = 1.0 / 3.0;
+  rec.action = 1;
+  rec.dim = 5;  // service dim is 2
+  rec.context[0] = 0.1;
+  EXPECT_FALSE(trainer.ingest(rec));
+  EXPECT_EQ(trainer.dim_mismatch_dropped(), 1u);
+  EXPECT_EQ(trainer.buffered_rows(), 0u);
+  rec.dim = 2;
+  EXPECT_TRUE(trainer.ingest(rec));
+  EXPECT_EQ(trainer.dim_mismatch_dropped(), 1u);
+  EXPECT_EQ(trainer.buffered_rows(), 1u);
+}
+
+TEST(SnapshotTrainerTest, StopReturnsPromptlyMidPeriod) {
+  // Regression: the worker used sleep_for(period), so stop() blocked for up
+  // to a full period. With the condition-variable wait it returns as soon
+  // as the in-flight (here: trivial) iteration finishes.
+  DecisionService service(small_service(),
+                          PolicySnapshot::uniform(1, 3, 2));
+  SnapshotTrainer trainer(service, {.min_rows = 1 << 20});
+  trainer.start(std::chrono::minutes(10));
+  EXPECT_TRUE(trainer.running());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const auto t0 = std::chrono::steady_clock::now();
+  trainer.stop();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_FALSE(trainer.running());
+  // Far below the 10-minute period; generous bound for loaded CI machines.
+  EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 5.0);
 }
 
 TEST(SnapshotTrainerTest, RefusesToTrainOnTooFewRows) {

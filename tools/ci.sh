@@ -198,6 +198,62 @@ echo "==> serve: closed-loop harvest (serve -> HLOG -> retrain -> swap)"
   --workdir "$STORE_DIR/serve_loop" --check-improvement > /dev/null
 echo "ok: closed loop improves on the logging policy"
 
+echo "==> serve: crash-safe persistence (kill -9 mid-loop -> --resume)"
+# A run with --snapshot-dir must leave a resumable store behind even when
+# killed mid-loop, and a corrupted snapshot must cost a quarantine, never a
+# crash. First a fresh run for the uniform round-0 baseline.
+SERVE_DIR="$STORE_DIR/serve_persist"
+"$BUILD_DIR/tools/harvest_serve" --rounds 2 --decisions 6000 --threads 2 \
+  --workdir "$SERVE_DIR" --snapshot-dir "$STORE_DIR/snap_fresh" \
+  > "$STORE_DIR/serve_fresh.txt"
+UNIFORM_MEAN="$(awk '/^round 0:/ { sub(/.*mean_reward=/, ""); print $1 }' \
+  "$STORE_DIR/serve_fresh.txt")"
+[[ -f "$STORE_DIR/snap_fresh/CURRENT" ]] \
+  || { echo "FAIL: --snapshot-dir run left no CURRENT pointer" >&2; exit 1; }
+# Kill a long run as soon as its first snapshot lands on disk.
+SNAP_DIR="$STORE_DIR/snap_killed"
+"$BUILD_DIR/tools/harvest_serve" --rounds 200 --decisions 6000 --threads 2 \
+  --workdir "$SERVE_DIR" --snapshot-dir "$SNAP_DIR" > /dev/null &
+SERVE_PID=$!
+for _ in $(seq 1 200); do
+  [[ -f "$SNAP_DIR/CURRENT" ]] && break
+  sleep 0.05
+done
+[[ -f "$SNAP_DIR/CURRENT" ]] \
+  || { echo "FAIL: killed run published no snapshot within 10s" >&2; exit 1; }
+sleep 0.2  # let a couple more rounds publish before the kill
+kill -9 "$SERVE_PID" 2> /dev/null || true
+wait "$SERVE_PID" 2> /dev/null || true
+# The restarted loop must warm-start from the killed run's last snapshot:
+# its round 0 serves a retrained policy, not uniform, so its mean must beat
+# the fresh run's uniform round 0 by a clear margin.
+"$BUILD_DIR/tools/harvest_serve" --rounds 2 --decisions 6000 --threads 2 \
+  --workdir "$SERVE_DIR" --snapshot-dir "$SNAP_DIR" --resume \
+  > "$STORE_DIR/serve_resumed.txt"
+grep -q "^resumed from snapshot id=" "$STORE_DIR/serve_resumed.txt" \
+  || { echo "FAIL: --resume did not resume from the killed run's store" >&2; \
+       cat "$STORE_DIR/serve_resumed.txt" >&2; exit 1; }
+RESUMED_MEAN="$(awk '/^round 0:/ { sub(/.*mean_reward=/, ""); print $1 }' \
+  "$STORE_DIR/serve_resumed.txt")"
+awk -v fresh="$UNIFORM_MEAN" -v resumed="$RESUMED_MEAN" \
+  'BEGIN { exit !(resumed > fresh + 0.02) }' \
+  || { echo "FAIL: resumed round 0 (${RESUMED_MEAN}) does not beat the" \
+            "uniform round 0 (${UNIFORM_MEAN})" >&2; exit 1; }
+# Corrupt the CURRENT target: the next --resume must quarantine it, fall
+# back to an older intact snapshot, and exit 0.
+head -c 64 /dev/zero > "$SNAP_DIR/$(cat "$SNAP_DIR/CURRENT")"
+"$BUILD_DIR/tools/harvest_serve" --rounds 1 --decisions 6000 --threads 2 \
+  --workdir "$SERVE_DIR" --snapshot-dir "$SNAP_DIR" --resume \
+  > "$STORE_DIR/serve_quarantine.txt" 2> "$STORE_DIR/serve_quarantine.err"
+grep -q "quarantined" "$STORE_DIR/serve_quarantine.err" \
+  || { echo "FAIL: corrupted snapshot was not quarantined" >&2; exit 1; }
+grep -q "^resumed from snapshot id=" "$STORE_DIR/serve_quarantine.txt" \
+  || { echo "FAIL: no fallback resume after quarantine" >&2; exit 1; }
+ls "$SNAP_DIR"/*.quarantined > /dev/null 2>&1 \
+  || { echo "FAIL: no .quarantined file left behind" >&2; exit 1; }
+echo "ok: kill -9 mid-loop resumed from disk (uniform ${UNIFORM_MEAN} ->" \
+     "resumed ${RESUMED_MEAN}); corruption quarantined with fallback"
+
 if [[ -z "$SANITIZE" ]]; then
   echo "==> serve: throughput + tail-latency + zero-allocation gate"
   # Conservative container-safe thresholds; the committed JSON tracks the

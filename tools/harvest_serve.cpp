@@ -23,16 +23,23 @@
 //   --epsilon E            exploration mass of retrained snaps (0.2)
 //   --seed S               root seed                           (42)
 //   --workdir DIR          where round datasets land           (serve_loop)
+//   --snapshot-dir DIR     persist every published snapshot (crash-safe
+//                          temp+rename; snapshot-<id>.hsnap + CURRENT)
+//   --resume               warm-start from --snapshot-dir's CURRENT instead
+//                          of uniform round 0; corrupt files are
+//                          quarantined with a fallback, never fatal
 //   --check-improvement    exit 1 unless final mean reward > round 0's
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "logs/scavenger.h"
+#include "serve/persist.h"
 #include "serve/service.h"
 #include "serve/snapshot.h"
 #include "serve/trainer.h"
@@ -103,11 +110,17 @@ int main(int argc, char** argv) {
   const double epsilon = flags.get_double("epsilon", 0.2);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
   const std::string workdir = flags.get_string("workdir", "serve_loop");
+  const std::string snapshot_dir = flags.get_string("snapshot-dir", "");
+  const bool resume = flags.get_bool("resume", false);
   const bool check_improvement = flags.get_bool("check-improvement", false);
 
   if (threads == 0 || decisions == 0 || num_actions == 0 ||
       dim > serve::kMaxContextDim) {
     std::fprintf(stderr, "harvest_serve: bad geometry\n");
+    return 2;
+  }
+  if (resume && snapshot_dir.empty()) {
+    std::fprintf(stderr, "harvest_serve: --resume requires --snapshot-dir\n");
     return 2;
   }
 
@@ -124,12 +137,37 @@ int main(int argc, char** argv) {
   std::size_t ring = 2;
   while (ring < per_thread + 1) ring <<= 1;
 
-  serve::DecisionService service(
-      {.num_actions = num_actions,
-       .dim = dim,
-       .log_capacity = ring,
-       .seed = seed},
-      serve::PolicySnapshot::uniform(1, num_actions, dim));
+  std::unique_ptr<serve::SnapshotStore> store;
+  if (!snapshot_dir.empty()) {
+    store = std::make_unique<serve::SnapshotStore>(
+        serve::SnapshotStore::Options{.dir = snapshot_dir});
+  }
+
+  const serve::DecisionService::Options service_options{
+      .num_actions = num_actions,
+      .dim = dim,
+      .log_capacity = ring,
+      .seed = seed};
+  std::unique_ptr<serve::DecisionService> service_owner;
+  if (resume) {
+    // Warm restart: a killed-and-restarted loop continues from the last
+    // published policy instead of re-paying uniform exploration. Damaged
+    // files were quarantined by the store (never fatal); an empty or fully
+    // corrupt store already printed its fallback warning.
+    serve::ResumeResult resumed = serve::resume_service(service_options,
+                                                        *store);
+    if (resumed.resumed) {
+      std::printf("resumed from snapshot id=%llu%s\n",
+                  static_cast<unsigned long long>(resumed.snapshot_id),
+                  resumed.quarantined > 0 ? " (after quarantine fallback)"
+                                          : "");
+    }
+    service_owner = std::move(resumed.service);
+  } else {
+    service_owner = std::make_unique<serve::DecisionService>(
+        service_options, serve::PolicySnapshot::uniform(1, num_actions, dim));
+  }
+  serve::DecisionService& service = *service_owner;
   std::vector<serve::Decider*> deciders;
   for (std::size_t t = 0; t < threads; ++t) {
     deciders.push_back(&service.add_decider());
@@ -172,6 +210,10 @@ int main(int argc, char** argv) {
     // ---- log the round to HLOG -------------------------------------------
     const std::string round_dir =
         workdir + "/round-" + std::to_string(round);
+    // A resumed run re-serves round numbers a killed predecessor may have
+    // half-written; start each round's dataset from a clean slate.
+    std::error_code stale_ec;
+    std::filesystem::remove_all(round_dir, stale_ec);
     store::DatasetWriter writer(round_dir, schema);
     const serve::ServeDrainStats stats =
         service.drain([&writer](const serve::DecisionRecord& rec) {
@@ -199,9 +241,17 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "harvest_serve: scavenge returned no tuples\n");
       return 1;
     }
-    auto snapshot =
-        trainer.train_on(harvested.data, service.current_id() + 1);
-    service.publish(std::move(snapshot));
+    // The service mints the snapshot id under its publish lock (race-free
+    // even with concurrent publishers); persist the published bytes so a
+    // kill at any point leaves a resumable store.
+    std::string snapshot_bytes;
+    const std::uint64_t published_id =
+        service.publish_with([&](std::uint64_t id) {
+          auto snapshot = trainer.train_on(harvested.data, id);
+          if (store != nullptr) snapshot_bytes = snapshot->serialize();
+          return snapshot;
+        });
+    if (store != nullptr) store->save_bytes(published_id, snapshot_bytes);
     service.try_reclaim();
   }
 
