@@ -64,7 +64,7 @@ Estimate DoublyRobustEstimator::evaluate(const ExplorationDataset& data,
                                          double delta) const {
   check_compatible(data, policy, *model_);
   const auto& pts = data.points();
-  std::vector<double> contributions(pts.size());
+  std::vector<double> contributions(pts.size()), weights(pts.size());
   struct Partial {
     std::size_t matched = 0;
     double max_abs = 0;
@@ -78,10 +78,11 @@ Estimate DoublyRobustEstimator::evaluate(const ExplorationDataset& data,
           const double dm = expected_model_reward(*model_, policy, pt.context);
           const double pi_a = policy.probability(pt.context, pt.action);
           if (pi_a > 0) ++p.matched;
+          const double w = pi_a / pt.propensity;
           const double correction =
-              pi_a / pt.propensity *
-              (pt.reward - model_->predict(pt.context, pt.action));
+              w * (pt.reward - model_->predict(pt.context, pt.action));
           contributions[i] = dm + correction;
+          weights[i] = w;
           p.max_abs = std::max(p.max_abs, std::abs(dm + correction));
         }
         return p;
@@ -93,7 +94,12 @@ Estimate DoublyRobustEstimator::evaluate(const ExplorationDataset& data,
       });
   const double range =
       std::max(data.reward_range().width(), 2 * tally.max_abs);
-  return finish(contributions, tally.matched, delta, range);
+  Estimate est = finish(contributions, tally.matched, delta, range);
+  // The IPS-correction weights drive DR's variance; surface the same
+  // weight-health diagnostics the pure importance-weighted estimators
+  // report, so a DR estimate resting on a tiny ESS is visible too.
+  attach_weight_diagnostics(est, weights);
+  return est;
 }
 
 }  // namespace harvest::core

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "par/parallel.h"
+#include "util/string_util.h"
 
 namespace harvest::core {
 
@@ -113,7 +114,7 @@ Estimate ClippedIpsEstimator::evaluate(const ExplorationDataset& data,
 }
 
 std::string ClippedIpsEstimator::name() const {
-  return "clipped-ips(" + std::to_string(max_weight_) + ")";
+  return "clipped-ips(" + util::format_double(max_weight_, 4) + ")";
 }
 
 Estimate SnipsEstimator::evaluate(const ExplorationDataset& data,

@@ -1,0 +1,42 @@
+// The SWITCH estimator (Wang, Agarwal & Dudík 2017, adapted to harvested
+// propensities): per record, use the unbiased IPS term when the logged
+// propensity is healthy and fall back to the reward model when it is not.
+// The switching rule thresholds the *propensity* (equivalently the maximum
+// possible importance weight 1/p): records with p >= tau keep the IPS
+// contribution w·r; records with p < tau — exactly the ones whose weights
+// can explode — contribute the Direct-Method term instead.
+//
+// Limits (both bit-exact, see tests/core/estimator_property_test.cpp):
+//   tau = 0    -> every record keeps IPS        -> SWITCH ≡ IPS
+//   tau > 1    -> every record uses the model   -> SWITCH ≡ DM
+#pragma once
+
+#include "core/estimators/estimator.h"
+#include "core/reward_model.h"
+
+namespace harvest::core {
+
+/// SWITCH(pi) = 1/N * sum_t [ 1{p_t >= tau} * w_t r_t
+///                          + 1{p_t <  tau} * sum_a pi(a|x_t) r̂(x_t, a) ].
+/// Interpolates IPS (tau = 0) and DM (tau > 1) along the propensity axis:
+/// raising tau trades IPS variance from rare actions for the model's bias.
+/// `clipped_fraction` reports the share of records diverted to the model.
+class SwitchEstimator final : public OffPolicyEstimator {
+ public:
+  /// `tau` in [0, +inf): the propensity threshold below which a record's
+  /// contribution switches from IPS to the model. Throws on a null model or
+  /// a negative/NaN tau.
+  SwitchEstimator(RewardModelPtr model, double tau);
+
+  Estimate evaluate(const ExplorationDataset& data, const Policy& policy,
+                    double delta = 0.05) const override;
+  std::string name() const override;
+
+  double tau() const { return tau_; }
+
+ private:
+  RewardModelPtr model_;
+  double tau_;
+};
+
+}  // namespace harvest::core

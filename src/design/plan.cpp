@@ -1,0 +1,413 @@
+#include "design/plan.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace harvest::design {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& origin, const std::string& what) {
+  throw std::invalid_argument("logging plan " + origin + ": " + what);
+}
+
+// %.17g round-trips every finite double exactly, so to_json/parse_json is a
+// bit-identity and the determinism suite can diff serialized plans.
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void append_array(std::ostringstream& out, const std::vector<double>& values) {
+  out << '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out << ',';
+    out << format_double(values[i]);
+  }
+  out << ']';
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+// Minimal JSON value tree. The store's manifest parser (store/dataset.cpp)
+// only understands unsigned integers; plans are mostly doubles, so this
+// parser accepts the full JSON number grammar instead.
+struct JsonValue {
+  enum Kind { kNull, kNumber, kString, kArray, kObject } kind = kNull;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  JsonParser(std::string_view text, const std::string& origin)
+      : text_(text), origin_(origin) {}
+
+  JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail(origin_, "trailing characters after JSON");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail(origin_, "unexpected end of JSON");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(origin_, std::string("expected '") + c + "' at byte " +
+                        std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      JsonValue v;
+      v.kind = JsonValue::kString;
+      v.string = parse_string();
+      return v;
+    }
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      return parse_number();
+    }
+    fail(origin_, std::string("unexpected character '") + c + "'");
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      std::string key = parse_string();
+      expect(':');
+      v.object.emplace_back(std::move(key), parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') fail(origin_, "expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') fail(origin_, "expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail(origin_, "unterminated escape");
+        c = text_[pos_++];
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= text_.size()) fail(origin_, "unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    auto digits = [&] {
+      std::size_t n = 0;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        ++n;
+      }
+      return n;
+    };
+    if (digits() == 0) fail(origin_, "malformed number");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (digits() == 0) fail(origin_, "malformed number fraction");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (digits() == 0) fail(origin_, "malformed number exponent");
+    }
+    JsonValue v;
+    v.kind = JsonValue::kNumber;
+    const std::string token(text_.substr(start, pos_ - start));
+    v.number = std::strtod(token.c_str(), nullptr);
+    return v;
+  }
+
+  std::string_view text_;
+  const std::string& origin_;
+  std::size_t pos_ = 0;
+};
+
+double require_number(const JsonValue& obj, const std::string& key,
+                      const std::string& origin) {
+  const JsonValue* v = obj.find(key);
+  if (!v || v->kind != JsonValue::kNumber) {
+    fail(origin, "missing numeric field \"" + key + "\"");
+  }
+  return v->number;
+}
+
+std::vector<double> require_number_array(const JsonValue& obj,
+                                         const std::string& key,
+                                         const std::string& origin) {
+  const JsonValue* v = obj.find(key);
+  if (!v || v->kind != JsonValue::kArray) {
+    fail(origin, "missing array field \"" + key + "\"");
+  }
+  std::vector<double> out;
+  out.reserve(v->array.size());
+  for (const JsonValue& e : v->array) {
+    if (e.kind != JsonValue::kNumber) {
+      fail(origin, "non-numeric entry in \"" + key + "\"");
+    }
+    out.push_back(e.number);
+  }
+  return out;
+}
+
+std::size_t require_count(const JsonValue& obj, const std::string& key,
+                          const std::string& origin) {
+  const double v = require_number(obj, key, origin);
+  if (!(v >= 0) || v != std::floor(v) || v > 1e9) {
+    fail(origin, "field \"" + key + "\" is not a small non-negative integer");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+std::span<const double> LoggingPlan::stratum_distribution(
+    std::size_t s) const {
+  return std::span<const double>(distributions.data() + s * num_actions,
+                                 num_actions);
+}
+
+std::size_t LoggingPlan::stratum_of(std::span<const double> context) const {
+  // Mirrors serve::PolicySnapshot::greedy exactly (same accumulation order,
+  // same strict ">" tie-break toward the lowest action id) so a plan scores
+  // contexts into the same strata the serving layer will.
+  const std::size_t stride = dim + 1;
+  const double* w = reference_weights.data();
+  double best = -std::numeric_limits<double>::infinity();
+  std::size_t arg = 0;
+  for (std::size_t a = 0; a < num_actions; ++a) {
+    const double* wa = w + a * stride;
+    double score = wa[0];
+    for (std::size_t i = 0; i < dim; ++i) score += wa[1 + i] * context[i];
+    if (score > best) {
+      best = score;
+      arg = a;
+    }
+  }
+  return arg;
+}
+
+void LoggingPlan::validate() const {
+  auto bad = [](const std::string& what) {
+    throw std::invalid_argument("LoggingPlan: " + what);
+  };
+  if (version != kPlanVersion) bad("unsupported version");
+  if (num_actions == 0) bad("num_actions must be positive");
+  if (reference_weights.size() != num_actions * (dim + 1)) {
+    bad("reference_weights size mismatch");
+  }
+  if (distributions.size() != num_actions * num_actions) {
+    bad("distributions size mismatch");
+  }
+  if (!(propensity_floor >= 0) ||
+      propensity_floor * static_cast<double>(num_actions) > 1.0 + 1e-12) {
+    bad("propensity floor infeasible");
+  }
+  if (!std::isfinite(regret_budget) || regret_budget < 0) {
+    bad("regret budget must be finite and non-negative");
+  }
+  for (double w : reference_weights) {
+    if (!std::isfinite(w)) bad("non-finite reference weight");
+  }
+  for (std::size_t s = 0; s < num_actions; ++s) {
+    double sum = 0;
+    for (std::size_t a = 0; a < num_actions; ++a) {
+      const double q = distributions[s * num_actions + a];
+      if (!std::isfinite(q) || q <= 0 || q > 1) {
+        bad("probability outside (0, 1] in stratum " + std::to_string(s));
+      }
+      if (q + 1e-12 < propensity_floor) {
+        bad("probability below the floor in stratum " + std::to_string(s));
+      }
+      sum += q;
+    }
+    if (std::abs(sum - 1.0) > 1e-9) {
+      bad("stratum " + std::to_string(s) + " does not sum to 1");
+    }
+  }
+  if (!stratum_weights.empty() && stratum_weights.size() != num_actions) {
+    bad("stratum_weights size mismatch");
+  }
+  if (!candidate_names.empty() &&
+      (!std::isfinite(planned_objective) ||
+       !std::isfinite(baseline_objective))) {
+    bad("non-finite objective");
+  }
+}
+
+std::string LoggingPlan::to_json() const {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"logging_plan\": " << version << ",\n";
+  out << "  \"num_actions\": " << num_actions << ",\n";
+  out << "  \"dim\": " << dim << ",\n";
+  out << "  \"propensity_floor\": " << format_double(propensity_floor)
+      << ",\n";
+  out << "  \"regret_budget\": " << format_double(regret_budget) << ",\n";
+  out << "  \"baseline_epsilon\": " << format_double(baseline_epsilon)
+      << ",\n";
+  out << "  \"reference_weights\": ";
+  append_array(out, reference_weights);
+  out << ",\n  \"strata\": [\n";
+  for (std::size_t s = 0; s < num_actions; ++s) {
+    out << "    {\"stratum\": " << s << ", \"weight\": "
+        << format_double(s < stratum_weights.size() ? stratum_weights[s] : 0)
+        << ", \"distribution\": ";
+    append_array(out, std::vector<double>(
+                          distributions.begin() + s * num_actions,
+                          distributions.begin() + (s + 1) * num_actions));
+    out << '}' << (s + 1 < num_actions ? "," : "") << '\n';
+  }
+  out << "  ],\n";
+  out << "  \"candidates\": [";
+  for (std::size_t i = 0; i < candidate_names.size(); ++i) {
+    if (i) out << ", ";
+    out << '"' << escape(candidate_names[i]) << '"';
+  }
+  out << "],\n";
+  out << "  \"objective\": {\"planned\": " << format_double(planned_objective)
+      << ", \"baseline\": " << format_double(baseline_objective) << "}\n";
+  out << "}\n";
+  return out.str();
+}
+
+LoggingPlan LoggingPlan::parse_json(std::string_view text,
+                                    const std::string& origin) {
+  JsonValue root = JsonParser(text, origin).parse();
+  if (root.kind != JsonValue::kObject) fail(origin, "top level is not an object");
+  LoggingPlan plan;
+  plan.version =
+      static_cast<std::uint32_t>(require_count(root, "logging_plan", origin));
+  if (plan.version != kPlanVersion) {
+    fail(origin, "unsupported plan version " + std::to_string(plan.version));
+  }
+  plan.num_actions = require_count(root, "num_actions", origin);
+  plan.dim = require_count(root, "dim", origin);
+  plan.propensity_floor = require_number(root, "propensity_floor", origin);
+  plan.regret_budget = require_number(root, "regret_budget", origin);
+  plan.baseline_epsilon = require_number(root, "baseline_epsilon", origin);
+  plan.reference_weights = require_number_array(root, "reference_weights", origin);
+
+  const JsonValue* strata = root.find("strata");
+  if (!strata || strata->kind != JsonValue::kArray ||
+      strata->array.size() != plan.num_actions) {
+    fail(origin, "\"strata\" must be an array with one entry per action");
+  }
+  plan.distributions.assign(plan.num_actions * plan.num_actions, 0);
+  plan.stratum_weights.assign(plan.num_actions, 0);
+  for (const JsonValue& entry : strata->array) {
+    if (entry.kind != JsonValue::kObject) {
+      fail(origin, "stratum entry is not an object");
+    }
+    const std::size_t s = require_count(entry, "stratum", origin);
+    if (s >= plan.num_actions) fail(origin, "stratum index out of range");
+    plan.stratum_weights[s] = require_number(entry, "weight", origin);
+    const std::vector<double> dist =
+        require_number_array(entry, "distribution", origin);
+    if (dist.size() != plan.num_actions) {
+      fail(origin, "stratum distribution has wrong arity");
+    }
+    std::copy(dist.begin(), dist.end(),
+              plan.distributions.begin() + s * plan.num_actions);
+  }
+
+  if (const JsonValue* names = root.find("candidates");
+      names && names->kind == JsonValue::kArray) {
+    for (const JsonValue& n : names->array) {
+      if (n.kind != JsonValue::kString) {
+        fail(origin, "candidate name is not a string");
+      }
+      plan.candidate_names.push_back(n.string);
+    }
+  }
+  if (const JsonValue* obj = root.find("objective");
+      obj && obj->kind == JsonValue::kObject) {
+    plan.planned_objective = require_number(*obj, "planned", origin);
+    plan.baseline_objective = require_number(*obj, "baseline", origin);
+  }
+
+  try {
+    plan.validate();
+  } catch (const std::invalid_argument& e) {
+    fail(origin, e.what());
+  }
+  return plan;
+}
+
+}  // namespace harvest::design

@@ -1,0 +1,104 @@
+// The variance-optimal logging-policy planner — the "design" half of the
+// harvesting loop. Given a harvest of exploration data, a set of candidate
+// target policies we will want to evaluate offline, and a reward model, it
+// computes a per-stratum exploration distribution that minimizes the
+// worst-case (over candidates) variance of their IPS/DR off-policy
+// estimates, subject to a propensity floor and a model-estimated regret
+// budget.
+//
+// The optimization is a saddle-point solve of
+//
+//   min_{q in floored simplex}  max_k  V_k(q),
+//   V_k(q) = (1/N) sum_s sum_a C[k][s][a] / q_s(a),
+//   C[k][s][a] = sum_{x in s} pi_k(a|x)^2 * (rhat(x,a)^2 + sigma^2),
+//
+// the closed-form variance proxy of a stratified importance-weighted
+// estimator (sigma^2 is the harvest's mean squared model residual). The
+// inner minimum has a closed form per stratum (Neyman allocation,
+// q proportional to sqrt of the mixed costs, water-filled against the
+// floor), so the solver runs exponentiated-gradient ascent on the
+// adversary's candidate mixture and re-solves the inner problem each step.
+// The regret budget is linear in q, so it is enforced exactly afterward by
+// mixing toward the floored model-greedy distribution.
+//
+// The eps-greedy baseline is itself a feasible plan under the default
+// (auto) budget, and the planner falls back to it whenever the solve does
+// not beat it — so `report.plan` never has a worse objective than
+// eps-greedy logging. CI gates on exactly that invariant.
+//
+// Cost accumulation runs over src/par/ shard plans with per-shard partial
+// sums merged in shard order, and everything downstream is sequential
+// closed-form math: the emitted plan is bit-identical for any --threads.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/policy.h"
+#include "core/reward_model.h"
+#include "design/plan.h"
+
+namespace harvest::design {
+
+struct PlannerConfig {
+  /// Every planned propensity is >= this (keeps future harvests usable:
+  /// Eq. 1's 1/eps term stays bounded). Must satisfy floor * K <= 1 and
+  /// floor <= baseline_epsilon / K so the eps-greedy baseline is feasible.
+  double propensity_floor = 0.02;
+
+  /// Cap on model-estimated per-decision regret of the logging policy vs
+  /// the model-greedy action. NaN (default) means "auto": use the
+  /// eps-greedy baseline's own regret, which makes the comparison fair and
+  /// the baseline feasible by construction.
+  double regret_budget = std::numeric_limits<double>::quiet_NaN();
+
+  /// The eps-greedy comparison point (and fallback plan).
+  double baseline_epsilon = 0.2;
+
+  /// Exponentiated-gradient rounds on the adversary's candidate mixture.
+  std::size_t iterations = 64;
+
+  /// Adversary step size (on normalized variances).
+  double mix_learning_rate = 0.5;
+};
+
+struct CandidateVariance {
+  std::string name;
+  double planned = 0;   ///< V_k under the emitted plan
+  double baseline = 0;  ///< V_k under eps-greedy logging
+};
+
+struct PlannerReport {
+  LoggingPlan plan;
+  std::vector<CandidateVariance> candidates;
+  double planned_objective = 0;   ///< max_k V_k under the emitted plan
+  double baseline_objective = 0;  ///< max_k V_k under eps-greedy
+  double planned_regret = 0;      ///< model-estimated, per decision
+  double baseline_regret = 0;
+  double regret_budget = 0;  ///< the budget actually enforced (auto resolved)
+  double residual_variance = 0;  ///< sigma^2 used in the cost model
+  std::size_t iterations_run = 0;
+  /// True when the solve could not beat eps-greedy and the baseline plan
+  /// was emitted instead (planned_objective == baseline_objective then).
+  bool fell_back_to_baseline = false;
+};
+
+/// Plans the next round of logging from this round's harvest.
+///
+/// `reference_weights` is the serving snapshot's flattened policy
+/// (num_actions rows of dim+1 doubles, bias first); it defines the strata
+/// and will be carried inside the plan. `dim` is the raw context arity —
+/// every context in `harvest` must have exactly `dim` features.
+///
+/// Throws std::invalid_argument on an empty harvest, no candidates,
+/// mismatched action counts / geometry, or an infeasible config.
+PlannerReport plan_logging(const core::ExplorationDataset& harvest,
+                           const std::vector<core::PolicyPtr>& candidates,
+                           const core::RewardModel& model,
+                           std::vector<double> reference_weights,
+                           std::size_t dim, const PlannerConfig& config = {});
+
+}  // namespace harvest::design

@@ -13,6 +13,7 @@
 #include "core/estimators/direct.h"
 #include "core/estimators/ips.h"
 #include "core/estimators/sequence.h"
+#include "core/estimators/switch.h"
 #include "core/trajectory.h"
 #include "core/policies/basic.h"
 #include "core/policies/greedy.h"

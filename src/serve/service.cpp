@@ -63,6 +63,30 @@ const PolicySnapshot* Decider::acquire() {
 
 Decision Decider::decide(std::span<const double> context) {
   assert(context.size() == service_->options().dim);
+  const PolicySnapshot* snap = acquire();
+  const Decision d = decide_on(snap, context);
+  release();
+  return d;
+}
+
+void Decider::decide_batch(std::span<const double> contexts,
+                           std::span<Decision> out) {
+  const std::size_t dim = service_->options().dim;
+  assert(contexts.size() == out.size() * dim);
+  if (out.empty()) return;
+  // One hazard handshake for the whole batch: the publisher cannot reclaim
+  // `snap` until release(), so every decision in the batch answers from the
+  // same snapshot (records carry one snapshot_id even if a publish lands
+  // mid-batch).
+  const PolicySnapshot* snap = acquire();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = decide_on(snap, contexts.subspan(i * dim, dim));
+  }
+  release();
+}
+
+Decision Decider::decide_on(const PolicySnapshot* snap,
+                            std::span<const double> context) {
   if (staged_valid_) {
     // The previous decision's outcome was never reported: flush it with a
     // NaN reward so every decision reaches the log exactly once.
@@ -70,9 +94,7 @@ Decision Decider::decide(std::span<const double> context) {
     push(staged_);
     staged_valid_ = false;
   }
-  const PolicySnapshot* snap = acquire();
   const Decision d = snap->decide(context, rng_);
-  release();
 
   staged_.time = static_cast<double>(seq_);
   staged_.reward = 0.0;

@@ -148,6 +148,15 @@ class Decider {
     return d;
   }
 
+  /// Batched hot path: `contexts` is out.size() back-to-back rows of `dim`
+  /// doubles. One hazard acquire/release covers the whole batch (the
+  /// handshake is the decide path's only synchronization, so batching
+  /// amortizes it), and every decision runs the exact staging/flush logic
+  /// of decide() — the logged records and the rng stream are bit-identical
+  /// to the equivalent sequence of decide() calls, with the batch's last
+  /// decision left staged for log_reward(). Zero-allocation.
+  void decide_batch(std::span<const double> contexts, std::span<Decision> out);
+
   /// Hazard-protected access to the published snapshot (stress tests,
   /// snapshot inspection). Do not call decide() while the ref is live.
   SnapshotRef snapshot();
@@ -176,6 +185,10 @@ class Decider {
 
   const PolicySnapshot* acquire();
   void release() { hazard_.store(nullptr, std::memory_order_release); }
+  /// The staging half of decide(): flush any still-staged record as NaN,
+  /// draw from `snap`, stage the new tuple. Caller holds the hazard.
+  Decision decide_on(const PolicySnapshot* snap,
+                     std::span<const double> context);
   void push(const DecisionRecord& rec);
   /// Drains [tail, head) into `fn` under the consumer mutex.
   std::size_t drain_into(const std::function<void(const DecisionRecord&)>& fn);

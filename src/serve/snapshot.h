@@ -44,6 +44,13 @@ struct Decision {
   std::uint64_t snapshot_id = 0;
 };
 
+/// How a snapshot randomizes. kEpsGreedy is the classic uniform mix over
+/// the greedy action; kPlanned executes a design::LoggingPlan — the context
+/// is mapped to its stratum (the greedy action of the snapshot's weights)
+/// and the action is drawn from that stratum's planned distribution, so the
+/// logged propensities are exactly the plan's probabilities.
+enum class SnapshotKind : std::uint8_t { kEpsGreedy = 0, kPlanned = 1 };
+
 class PolicySnapshot {
  public:
   /// `weights` is num_actions rows of (dim+1) doubles, bias first —
@@ -53,6 +60,14 @@ class PolicySnapshot {
   /// Throws std::invalid_argument on inconsistent geometry.
   PolicySnapshot(std::uint64_t id, std::size_t num_actions, std::size_t dim,
                  std::vector<double> weights, double epsilon);
+
+  /// Planned-kind snapshot: `plan` is num_actions strata rows of
+  /// num_actions probabilities (the design::LoggingPlan distributions,
+  /// row-major); decide() draws from row greedy(context). Throws
+  /// std::invalid_argument on bad geometry or a row that is not a
+  /// probability distribution over (0, 1] summing to 1 (1e-9 tolerance).
+  PolicySnapshot(std::uint64_t id, std::size_t num_actions, std::size_t dim,
+                 std::vector<double> weights, std::vector<double> plan);
   ~PolicySnapshot();
 
   PolicySnapshot(const PolicySnapshot&) = delete;
@@ -63,24 +78,31 @@ class PolicySnapshot {
   std::size_t dim() const { return dim_; }
   double epsilon() const { return epsilon_; }
   std::span<const double> weights() const { return weights_; }
+  SnapshotKind kind() const { return kind_; }
+  /// Planned distributions (empty for kEpsGreedy): row s holds pi(·|stratum
+  /// s), so plan()[s * num_actions + a] is the propensity of action a there.
+  std::span<const double> plan() const { return plan_; }
 
   /// argmax_a (w_a · [1, x]), ties toward the lower action id. Requires
   /// context.size() == dim(). Zero-allocation.
   core::ActionId greedy(std::span<const double> context) const;
 
-  /// Epsilon-greedy draw from the snapshot's conditional distribution:
-  /// with probability epsilon a uniform action, otherwise the greedy one.
-  /// The returned propensity is exactly pi(a|x). Zero-allocation; consumes
-  /// one rng draw when epsilon > 0 plus one more when exploring.
+  /// Draw from the snapshot's conditional distribution. kEpsGreedy: with
+  /// probability epsilon a uniform action, otherwise the greedy one (one
+  /// rng draw when epsilon > 0 plus one more when exploring). kPlanned:
+  /// inverse-CDF draw from the stratum's planned row (exactly one rng
+  /// draw). The returned propensity is exactly pi(a|x). Zero-allocation.
   Decision decide(std::span<const double> context, util::Rng& rng) const;
 
   /// pi(a|x) for any action (cold path: tests, chi-squared checks).
   double probability(std::span<const double> context, core::ActionId a) const;
 
   /// Exact byte serialization (little-endian id/geometry/epsilon + weight
-  /// bit patterns). Two snapshots serialize identically iff they would make
-  /// identical decisions — the determinism suite compares these bytes
-  /// across trainer thread counts.
+  /// bit patterns; planned snapshots use a distinct magic and append the
+  /// plan's bit patterns — eps-greedy bytes are unchanged from v1, so
+  /// persisted stores stay readable). Two snapshots serialize identically
+  /// iff they would make identical decisions — the determinism suite
+  /// compares these bytes across trainer thread counts.
   std::string serialize() const;
 
   /// Inverse of serialize(): reconstructs a snapshot from its exact byte
@@ -118,6 +140,11 @@ class PolicySnapshot {
   /// pre-optimization logging policy whose randomness the loop harvests.
   static std::unique_ptr<const PolicySnapshot> uniform(
       std::uint64_t id, std::size_t num_actions, std::size_t dim);
+  /// Planned-kind snapshot executing a logging plan's distributions over
+  /// its reference weights (see design/plan.h for the producing side).
+  static std::unique_ptr<const PolicySnapshot> planned(
+      std::uint64_t id, std::size_t num_actions, std::size_t dim,
+      std::vector<double> reference_weights, std::vector<double> plan);
 
  private:
   std::uint64_t checksum() const;
@@ -126,7 +153,9 @@ class PolicySnapshot {
   std::uint32_t num_actions_;
   std::uint32_t dim_;
   double epsilon_;
+  SnapshotKind kind_ = SnapshotKind::kEpsGreedy;
   std::vector<double> weights_;  ///< num_actions * (dim+1), bias first
+  std::vector<double> plan_;     ///< kPlanned: num_actions^2 row-major probs
   std::uint64_t checksum_ = 0;
   std::uint64_t canary_ = 0;
 };

@@ -11,7 +11,8 @@ namespace harvest::store {
 
 MergeReport merge_readers(const std::vector<const Reader*>& inputs,
                           std::ostream& out, const WriterOptions& options,
-                          par::ThreadPool* pool) {
+                          par::ThreadPool* pool,
+                          const ScanPredicate& predicate) {
   obs::ScopedSpan span("store.merge");
   if (inputs.empty()) {
     throw std::invalid_argument("store::merge_readers: no inputs");
@@ -38,8 +39,14 @@ MergeReport merge_readers(const std::vector<const Reader*>& inputs,
   std::vector<double> propensity;
   for (const Reader* reader : inputs) {
     report.input_totals += reader->counts();
-    ScanResult scan = reader->scan(pool);
+    ScanResult scan = predicate.trivial() ? reader->scan(pool)
+                                          : reader->scan(predicate, pool);
     report.rows_quarantined += scan.rows_quarantined();
+    // Rows the predicate removed: everything the ledger promised that was
+    // neither decoded into the result nor lost to quarantine.
+    report.rows_filtered +=
+        reader->rows() - scan.rows() - scan.rows_quarantined();
+    report.blocks_pruned += scan.blocks_pruned;
     time.insert(time.end(), scan.time.begin(), scan.time.end());
     context.insert(context.end(), scan.context.begin(), scan.context.end());
     action.insert(action.end(), scan.action.begin(), scan.action.end());

@@ -29,13 +29,17 @@ struct MergeReport {
   Counts output;         ///< ledger written to the merged footer
   std::uint64_t rows_kept = 0;         ///< rows decoded and re-encoded
   std::uint64_t rows_quarantined = 0;  ///< rows lost to CRC at merge time
+  std::uint64_t rows_filtered = 0;     ///< rows rejected by the predicate
+                                       ///< (zone-pruned or row-filtered)
+  std::size_t blocks_pruned = 0;       ///< blocks skipped via zone maps
   std::size_t output_shards = 0;
   std::size_t output_blocks = 0;
 
-  /// The conservation invariant the merge must uphold:
-  /// input kept+quarantined == output kept+quarantined.
+  /// The conservation invariant the merge must uphold: every input row is
+  /// kept, quarantined, or (under a predicate) deliberately filtered.
   bool conserved() const {
-    return input_totals.rows == rows_kept + rows_quarantined &&
+    return input_totals.rows ==
+               rows_kept + rows_quarantined + rows_filtered &&
            output.rows == rows_kept &&
            output.dropped_corrupt_block ==
                input_totals.dropped_corrupt_block + rows_quarantined;
@@ -44,9 +48,14 @@ struct MergeReport {
 
 /// Merges `inputs` (scanned in order) into a single HLOG written to `out`
 /// with the given geometry. All inputs must share one schema; throws
-/// std::runtime_error (naming the offending input) otherwise.
+/// std::runtime_error (naming the offending input) otherwise. A non-trivial
+/// `predicate` turns the merge into a selection: each input is scanned with
+/// zone-map pruning + row filtering (bit-identical to scan-then-filter) and
+/// only matching rows are re-encoded; the report's rows_filtered /
+/// blocks_pruned record what the predicate removed.
 MergeReport merge_readers(const std::vector<const Reader*>& inputs,
                           std::ostream& out, const WriterOptions& options = {},
-                          par::ThreadPool* pool = par::default_pool());
+                          par::ThreadPool* pool = par::default_pool(),
+                          const ScanPredicate& predicate = {});
 
 }  // namespace harvest::store

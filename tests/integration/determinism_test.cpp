@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "design/planner.h"
 #include "harvest/harvest.h"
 #include "serve/service.h"
 #include "serve/snapshot.h"
@@ -75,9 +76,11 @@ std::vector<double> run_fleet_scenario() {
   const core::IpsEstimator ips;
   const core::SnipsEstimator snips;
   const core::DoublyRobustEstimator dr(model);
+  const core::SwitchEstimator sw(model, 0.05);
   push_estimate(sig, ips.evaluate(exp, *policy));
   push_estimate(sig, snips.evaluate(exp, *policy));
   push_estimate(sig, dr.evaluate(exp, *policy));
+  push_estimate(sig, sw.evaluate(exp, *policy));
   return sig;
 }
 
@@ -150,12 +153,62 @@ std::vector<double> run_cache_scenario() {
   return sig;
 }
 
+/// Design scenario: the full plan -> serve closed loop. The planner's
+/// parallel cost accumulation feeds a planned snapshot that serves a fixed
+/// context stream; both the emitted plan and every logged propensity enter
+/// the signature.
+std::vector<double> run_design_scenario() {
+  std::vector<double> sig;
+  util::Rng rng(71);
+  const core::FullFeedbackDataset env = testing::make_environment(2500, rng);
+  const core::EpsilonGreedyPolicy logging(
+      std::make_shared<core::ConstantPolicy>(3, 1), 0.4);
+  const core::ExplorationDataset exp = env.simulate_exploration(logging, rng);
+  const std::vector<core::PolicyPtr> candidates{
+      std::make_shared<core::ConstantPolicy>(3, 0),
+      std::make_shared<core::UniformRandomPolicy>(3),
+  };
+  const core::RidgeRewardModel model = core::fit_ridge(exp, 1.0, true);
+  const design::PlannerReport report = design::plan_logging(
+      exp, candidates, model, {0.0, 1.0, 0.5, 0.0, 1.0, -1.0}, 1, {});
+  for (const double q : report.plan.distributions) sig.push_back(q);
+  sig.push_back(report.planned_objective);
+  sig.push_back(report.baseline_objective);
+  sig.push_back(report.planned_regret);
+  sig.push_back(report.residual_variance);
+
+  // Execute the plan over a fixed stream; the logged propensities must be
+  // exactly the plan's probabilities, so they pin both the solve and the
+  // serving-side stratum arithmetic.
+  serve::DecisionService service(
+      {.num_actions = 3, .dim = 1, .log_capacity = 1 << 12, .seed = 515},
+      serve::PolicySnapshot::planned(
+          1, 3, 1, std::vector<double>(report.plan.reference_weights),
+          std::vector<double>(report.plan.distributions)));
+  serve::Decider& decider = service.add_decider();
+  util::Rng ctx_rng(72);
+  for (int i = 0; i < 1500; ++i) {
+    const double x = ctx_rng.uniform();
+    const serve::Decision d = decider.decide(std::span<const double>(&x, 1));
+    decider.log_reward(0.1 * static_cast<double>(d.action) + 0.5 * x);
+  }
+  service.drain([&sig](const serve::DecisionRecord& rec) {
+    sig.push_back(static_cast<double>(rec.action));
+    sig.push_back(rec.propensity);
+    sig.push_back(rec.reward);
+  });
+  service.reclaim_all();
+  return sig;
+}
+
 std::vector<double> run_all_scenarios() {
   std::vector<double> sig = run_fleet_scenario();
   const std::vector<double> lb_sig = run_lb_scenario();
   const std::vector<double> cache_sig = run_cache_scenario();
+  const std::vector<double> design_sig = run_design_scenario();
   sig.insert(sig.end(), lb_sig.begin(), lb_sig.end());
   sig.insert(sig.end(), cache_sig.begin(), cache_sig.end());
+  sig.insert(sig.end(), design_sig.begin(), design_sig.end());
   return sig;
 }
 

@@ -254,6 +254,41 @@ ls "$SNAP_DIR"/*.quarantined > /dev/null 2>&1 \
 echo "ok: kill -9 mid-loop resumed from disk (uniform ${UNIFORM_MEAN} ->" \
      "resumed ${RESUMED_MEAN}); corruption quarantined with fallback"
 
+echo "==> design: plan -> serve under the plan -> measured variance gate"
+# The full design loop on a small synthetic harvest: the planner must beat
+# (or tie) its own eps-greedy baseline on the predicted worst-case OPE
+# variance, and the variance measured on the planned arm's re-harvest must
+# be no worse than the eps-greedy control arm serving the same contexts.
+if [[ -z "$SANITIZE" ]]; then
+  # Refresh the committed snapshot on plain runs.
+  "$BUILD_DIR/tools/harvest_design" --selfloop --decisions 12000 \
+    --threads 2 --workdir "$STORE_DIR/design_loop" --check \
+    --bench BENCH_design.json > /dev/null
+else
+  "$BUILD_DIR/tools/harvest_design" --selfloop --decisions 12000 \
+    --threads 2 --workdir "$STORE_DIR/design_loop" --check > /dev/null
+fi
+# The emitted plan must round-trip through the offline mode (JSON parse +
+# re-plan from the same harvest).
+"$BUILD_DIR/tools/harvest_design" \
+  --harvest "$STORE_DIR/design_loop/harvest0" \
+  --out "$STORE_DIR/design_loop/plan_offline.json" > /dev/null
+# Propensity pushdown on the CLI: carve the low-propensity exploration
+# stratum out of the eps-greedy control arm (propensities there are exactly
+# eps/K or 1-eps+eps/K, so --max-propensity 0.5 selects the exploration
+# draws) and prove the selection conserves rows and is scannable.
+"$BUILD_DIR/tools/harvest_compact" \
+  --merge "$STORE_DIR/design_loop/explore_stratum.hlog" \
+  "$STORE_DIR/design_loop/arm_epsgreedy" --max-propensity 0.5 \
+  | grep -q "conservation: .* OK" \
+  || { echo "FAIL: propensity-filtered merge broke conservation" >&2; exit 1; }
+"$BUILD_DIR/tools/harvest_inspect" \
+  "$STORE_DIR/design_loop/explore_stratum.hlog" --min-propensity 0.01 \
+  | grep -q "pruning: predicate" \
+  || { echo "FAIL: inspect printed no pruning summary" >&2; exit 1; }
+echo "ok: planned logging never worse than eps-greedy; plan JSON" \
+     "round-trips; propensity stratum extraction conserves rows"
+
 if [[ -z "$SANITIZE" ]]; then
   echo "==> serve: throughput + tail-latency + zero-allocation gate"
   # Conservative container-safe thresholds; the committed JSON tracks the

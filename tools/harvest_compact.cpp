@@ -20,6 +20,8 @@
 //                   [--verify] [--threads N]
 //   harvest_compact --merge <out.hlog> <in...>
 //                   [--rows-per-block N] [--blocks-per-shard N] [--threads N]
+//                   [--min-time T] [--max-time T] [--only-action A]
+//                   [--min-propensity P] [--max-propensity P]
 //   harvest_compact --corrupt <path> --corrupt-blocks FRAC
 //                   [--corrupt-seed N] [--corrupt-shard FILE]
 //   harvest_compact --make-demo <out.log> [--demo-records N] [--demo-seed N]
@@ -30,7 +32,14 @@
 //   members are expanded in manifest order) into one output file on the
 //   work-stealing pool — bit-deterministic at any --threads, and the
 //   quarantine ledger is conserved exactly (rows lost to CRC damage while
-//   reading the inputs move into dropped_corrupt_block).
+//   reading the inputs move into dropped_corrupt_block). The scan-predicate
+//   flags (--min-time/--max-time/--only-action/--min-propensity/
+//   --max-propensity) turn the merge into a selection: the inputs' zone
+//   maps prune non-matching blocks without touching their bytes, decoded
+//   blocks are row-filtered, and only matching rows are re-encoded — e.g.
+//   --max-propensity 0.1 extracts the low-propensity exploration stratum
+//   into its own corpus. Conservation then reads
+//   input == kept + quarantined + filtered.
 // --corrupt is the standalone chaos mode: flips one byte in the given
 //   fraction of column blocks of a .hlog file, or — with --corrupt-shard —
 //   of one named member of a dataset directory.
@@ -76,6 +85,9 @@ int usage() {
          "       harvest_compact --merge <out.hlog> <in...>\n"
          "                       [--rows-per-block N] [--blocks-per-shard N]\n"
          "                       [--threads N]\n"
+         "                       [--min-time T] [--max-time T]\n"
+         "                       [--only-action A]\n"
+         "                       [--min-propensity P] [--max-propensity P]\n"
          "       harvest_compact --corrupt <path> --corrupt-blocks FRAC\n"
          "                       [--corrupt-seed N] [--corrupt-shard FILE]\n"
          "       harvest_compact --make-demo <out.log> [--demo-records N]\n"
@@ -163,6 +175,36 @@ store::WriterOptions options_from(const util::Flags& flags) {
   return options;
 }
 
+/// Builds the merge selection predicate from the scan-predicate flags
+/// (trivial when none are given). Exits with usage() on inverted bounds.
+store::ScanPredicate predicate_from(const util::Flags& flags) {
+  store::ScanPredicate predicate;
+  if (flags.has("min-time")) {
+    predicate.min_time = flags.get_double("min-time", predicate.min_time);
+  }
+  if (flags.has("max-time")) {
+    predicate.max_time = flags.get_double("max-time", predicate.max_time);
+  }
+  if (flags.has("only-action")) {
+    predicate.action =
+        static_cast<std::uint32_t>(flags.get_int("only-action", 0));
+  }
+  if (flags.has("min-propensity")) {
+    predicate.min_propensity =
+        flags.get_double("min-propensity", predicate.min_propensity);
+  }
+  if (flags.has("max-propensity")) {
+    predicate.max_propensity =
+        flags.get_double("max-propensity", predicate.max_propensity);
+  }
+  if (predicate.min_time > predicate.max_time ||
+      predicate.min_propensity > predicate.max_propensity) {
+    std::cerr << "empty scan predicate: min bound exceeds max bound\n";
+    std::exit(2);
+  }
+  return predicate;
+}
+
 /// Merge mode: fold files and/or dataset directories into one HLOG file.
 int run_merge(const util::Flags& flags) {
   // Flag parsing folds "--merge out.hlog" into the flag's value; the output
@@ -205,9 +247,11 @@ int run_merge(const util::Flags& flags) {
     std::cerr << "cannot write " << out_path << "\n";
     return 1;
   }
+  const store::ScanPredicate predicate = predicate_from(flags);
   const store::MergeReport report = [&] {
     try {
-      return store::merge_readers(inputs, out, options_from(flags));
+      return store::merge_readers(inputs, out, options_from(flags),
+                                  par::default_pool(), predicate);
     } catch (const std::exception& e) {
       std::cerr << "merge failed: " << e.what() << "\n";
       std::exit(1);
@@ -225,11 +269,20 @@ int run_merge(const util::Flags& flags) {
               << " rows quarantined at merge time (now ledgered as "
                  "corrupt_block)";
   }
-  std::cout << "\nconservation: input kept+quarantined "
+  std::cout << "\n";
+  if (!predicate.trivial()) {
+    std::cout << "selection: predicate [" << predicate.describe()
+              << "] filtered " << report.rows_filtered << " rows ("
+              << report.blocks_pruned << " blocks pruned via zone maps)\n";
+  }
+  std::cout << "conservation: input kept+quarantined "
             << report.input_totals.rows << " == output kept "
             << report.output.rows << " + newly quarantined "
-            << report.rows_quarantined << ": "
-            << (report.conserved() ? "OK" : "VIOLATED") << "\n";
+            << report.rows_quarantined
+            << (predicate.trivial()
+                    ? std::string()
+                    : " + filtered " + std::to_string(report.rows_filtered))
+            << ": " << (report.conserved() ? "OK" : "VIOLATED") << "\n";
   return report.conserved() ? 0 : 1;
 }
 

@@ -28,10 +28,13 @@
 //   corpus was compacted under. --inject is text-only (corrupt HLOG blocks
 //   at compaction time with harvest_compact --corrupt-blocks instead).
 //
-// --min-time/--max-time/--only-action push a scan predicate down to the
-//   zone-mapped binary scan: blocks whose zone maps cannot match are skipped
-//   without touching their bytes, and a pruning summary (blocks pruned vs
-//   scanned) is printed. Binary inputs only — text logs have no zone maps.
+// --min-time/--max-time/--only-action/--min-propensity/--max-propensity
+//   push a scan predicate down to the zone-mapped binary scan: blocks whose
+//   zone maps cannot match are skipped without touching their bytes, and a
+//   pruning summary (blocks pruned vs scanned) is printed. Binary inputs
+//   only — text logs have no zone maps. The propensity bounds select
+//   exploration strata (e.g. --max-propensity 0.1 keeps only the rare
+//   low-propensity exploration draws).
 //
 // --diagnostics prints the OPE-health panel: effective sample size,
 //   min propensity, importance-weight tails, and the logging-vs-evaluation
@@ -69,6 +72,7 @@ int usage() {
          "                       [--format auto|text|hlog]\n"
          "                       [--min-time T] [--max-time T]\n"
          "                       [--only-action A]\n"
+         "                       [--min-propensity P] [--max-propensity P]\n"
          "                       [--diagnostics] [--trace FILE]\n"
          "                       [--trace-format jsonl|chrome]\n"
          "                       [--inject SPEC] [--inject-seed N]\n"
@@ -263,9 +267,22 @@ int main(int argc, char** argv) {
     predicate.action =
         static_cast<std::uint32_t>(flags.get_int("only-action", 0));
   }
+  if (flags.has("min-propensity")) {
+    predicate.min_propensity =
+        flags.get_double("min-propensity", predicate.min_propensity);
+  }
+  if (flags.has("max-propensity")) {
+    predicate.max_propensity =
+        flags.get_double("max-propensity", predicate.max_propensity);
+  }
+  if (predicate.min_propensity > predicate.max_propensity) {
+    std::cerr << "--min-propensity must not exceed --max-propensity\n";
+    return 2;
+  }
   if (!predicate.trivial() && !hlog) {
-    std::cerr << "--min-time/--max-time/--only-action need a binary input "
-                 "(text logs have no zone maps to prune against)\n";
+    std::cerr << "--min-time/--max-time/--only-action/--min-propensity/"
+                 "--max-propensity need a binary input (text logs have no "
+                 "zone maps to prune against)\n";
     return 2;
   }
 
